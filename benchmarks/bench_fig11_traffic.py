@@ -1,0 +1,46 @@
+"""Figure 11: interconnect traffic normalized to RC.
+
+Expected shape:
+
+* BSCdypvt's total traffic lands within a small overhead of RC (the
+  paper reports 5-13% on average), dominated by signature transfers and
+  post-squash refetches;
+* with the RSig optimization the RdSig class practically disappears;
+  without it (the N bars) RdSig is clearly visible;
+* the exact-signature run (E) shows the modest traffic cost of aliasing.
+"""
+
+from repro.harness.experiments import figure11
+from repro.harness.metrics import geometric_mean
+
+
+def test_figure11_traffic(benchmark, bench_instructions, bench_seed, bench_apps):
+    def run():
+        return figure11(
+            instructions=bench_instructions, seed=bench_seed, apps=bench_apps
+        )
+
+    breakdowns, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report)
+
+    apps = list(bench_apps)
+
+    def total(config, app):
+        return sum(breakdowns[config][app].values())
+
+    rc_totals = [total("R", app) for app in apps]
+    b_totals = [total("B", app) for app in apps]
+    overhead = geometric_mean(b_totals) / geometric_mean(rc_totals)
+    # BSCdypvt's bandwidth overhead over RC is modest.
+    assert 0.9 < overhead < 1.6, f"traffic overhead {overhead:.2f}"
+
+    # RSig optimization: RdSig nearly absent with it, visible without.
+    b_rdsig = sum(breakdowns["B"][app].get("RdSig", 0.0) for app in apps)
+    n_rdsig = sum(breakdowns["N"][app].get("RdSig", 0.0) for app in apps)
+    assert n_rdsig > b_rdsig
+
+    # Signatures appear only in BulkSC configurations.
+    for app in apps:
+        assert breakdowns["R"][app].get("WrSig", 0.0) == 0.0
+        assert breakdowns["B"][app].get("WrSig", 0.0) > 0.0

@@ -1,0 +1,39 @@
+"""Figure 9: performance of SC, RC, SC++, and BulkSC variants vs RC.
+
+Regenerates the paper's headline result.  Expected shape:
+
+* BSCdypvt performs about as well as RC and SC++ for practically all
+  applications (the paper's central claim);
+* SC is clearly slower than RC (in line with Pai et al.);
+* BSCbase trails BSCdypvt (W-signature pollution);
+* BSCexact ≈ BSCdypvt (the dypvt optimization removes most aliasing).
+"""
+
+from repro.harness.experiments import figure9
+from repro.harness.metrics import geometric_mean
+
+
+def test_figure9_performance(benchmark, shared_runner, bench_apps):
+    def run():
+        return figure9(shared_runner, apps=bench_apps)
+
+    series, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report)
+
+    gm = {
+        name: geometric_mean([series[name][app] for app in bench_apps])
+        for name in series
+    }
+    # Shape assertions, not absolute numbers (see EXPERIMENTS.md):
+    assert gm["RC"] == 1.0
+    # BSCdypvt within striking distance of RC.
+    assert gm["BSCdypvt"] > 0.80, f"BSCdypvt too slow: {gm}"
+    # SC visibly slower than RC on the geometric mean.
+    assert gm["SC"] < 0.97, f"SC should trail RC: {gm}"
+    # SC++ close to RC (the paper: nearly as fast as RC).
+    assert gm["SC++"] > 0.9
+    # Exact signatures never hurt.
+    assert gm["BSCexact"] >= gm["BSCdypvt"] - 0.05
+    # BSCbase does not beat BSCdypvt on the mean.
+    assert gm["BSCbase"] <= gm["BSCdypvt"] + 0.03

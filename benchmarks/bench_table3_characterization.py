@@ -1,0 +1,38 @@
+"""Table 3: characterization of BulkSC (BSCdypvt).
+
+Expected shape:
+
+* squashed instructions: BSCexact ≤ BSCdypvt ≤ BSCbase, with the dypvt
+  optimization recovering most of the gap to exact;
+* private write sets comparable to (often exceeding) shared write sets —
+  a Private Buffer of ~24 lines suffices;
+* speculatively *written* lines are never displaced (they are pinned);
+* extra (aliased) cache invalidations are rare relative to commits.
+"""
+
+from repro.harness.experiments import table3
+
+
+def test_table3_characterization(benchmark, shared_runner, bench_apps):
+    def run():
+        return table3(shared_runner, apps=bench_apps)
+
+    data, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report)
+
+    apps = list(bench_apps)
+    mean = lambda d: sum(d[a] for a in apps) / len(apps)
+
+    # Squash ordering: exact <= dypvt <= base (on the mean).
+    assert mean(data["squash_exact"]) <= mean(data["squash_dypvt"]) + 0.5
+    assert mean(data["squash_dypvt"]) <= mean(data["squash_base"]) + 0.5
+    # The dypvt optimization moves private writes out of W:
+    assert mean(data["priv_write_set"]) > mean(data["write_set"])
+    # Pinned speculative writes cannot be displaced.
+    assert all(v == 0 for v in data["spec_write_disp_per_100k"].values())
+    # Private Buffer supplies happen but are rare (per 1k commits).
+    assert mean(data["priv_buffer_per_1k"]) < 200
+    if "radix" in apps:
+        # radix: almost no stack refs and the worst aliasing.
+        assert data["squash_dypvt"]["radix"] >= data["squash_exact"]["radix"]

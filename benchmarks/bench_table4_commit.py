@@ -1,0 +1,52 @@
+"""Table 4: the commit process and coherence operations (BSCdypvt).
+
+Expected shape:
+
+* the arbiter is far from saturated: few pending W signatures, W list
+  empty most of the time;
+* a large fraction of commits carry an *empty* W signature (private-data
+  filtering), higher for SPLASH-2 than for the commercial workloads;
+* consequently the RSig optimization works: R signatures are fetched for
+  only a small fraction of commits;
+* signature expansion touches few directory entries per commit, and
+  unnecessary *updates* (aliasing that mutates state) are much rarer
+  than unnecessary lookups.
+"""
+
+from repro.harness.experiments import table4
+from repro.harness.runner import COMMERCIAL_APPS, SPLASH2_APPS
+
+
+def test_table4_commit(benchmark, shared_runner, bench_apps):
+    def run():
+        return table4(shared_runner, apps=bench_apps)
+
+    data, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report)
+
+    apps = list(bench_apps)
+    mean = lambda d, subset: (
+        sum(d[a] for a in subset) / len(subset) if subset else 0.0
+    )
+    splash = [a for a in apps if a in SPLASH2_APPS]
+    commercial = [a for a in apps if a in COMMERCIAL_APPS]
+
+    # The arbiter is not a bottleneck.
+    assert mean(data["pending_w_sigs"], apps) < 2.0
+    assert mean(data["nonempty_w_list_pct"], apps) < 75.0
+    # RSig: only a minority of commits need the R signature.
+    assert mean(data["r_sig_required_pct"], apps) < 60.0
+    # Private-data filtering produces empty W signatures...
+    assert mean(data["empty_w_sig_pct"], apps) > 20.0
+    # ...more often for SPLASH-2 than for the commercial codes.
+    if splash and commercial:
+        assert mean(data["empty_w_sig_pct"], splash) > mean(
+            data["empty_w_sig_pct"], commercial
+        )
+    # Expansion lookups stay modest; unnecessary updates rarer than
+    # unnecessary lookups.
+    assert mean(data["lookups_per_commit"], apps) < 60.0
+    assert mean(data["unnecessary_updates_pct"], apps) <= mean(
+        data["unnecessary_lookups_pct"], apps
+    ) + 1.0

@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it.  Scale knobs (environment variables):
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — dynamic instructions per thread
+  (default 8000; the paper's billions are unnecessary for the shapes).
+* ``REPRO_BENCH_APPS`` — comma-separated app subset (default: all 13).
+* ``REPRO_BENCH_SEED`` — workload seed (default 0).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ALL_APPS
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_INSTRUCTIONS = _env_int("REPRO_BENCH_INSTRUCTIONS", 8000)
+BENCH_SEED = _env_int("REPRO_BENCH_SEED", 0)
+_apps_env = os.environ.get("REPRO_BENCH_APPS", "")
+BENCH_APPS = tuple(
+    app.strip() for app in _apps_env.split(",") if app.strip()
+) or ALL_APPS
+
+
+@pytest.fixture(scope="session")
+def bench_instructions():
+    return BENCH_INSTRUCTIONS
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_apps():
+    return BENCH_APPS
+
+
+@pytest.fixture(scope="session")
+def shared_runner(bench_instructions, bench_seed):
+    """One memoized sweep runner shared by every benchmark in a session."""
+    from repro.harness.runner import SweepRunner
+
+    return SweepRunner(instructions_per_thread=bench_instructions, seed=bench_seed)

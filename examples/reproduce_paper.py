@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper and write EXPERIMENTS.md.
+
+This is the full reproduction driver: it sweeps all 13 applications over
+all 7 configurations (Table 2), regenerates Figures 9/10/11 and Tables
+3/4, prints them, and records the paper-vs-measured comparison in
+EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py [instructions_per_thread]
+      (default 20000; the paper's shapes are stable from ~10k up)
+"""
+
+import sys
+import time
+
+from repro.harness.experiments import figure9, figure10, figure11, table3, table4
+from repro.harness.metrics import geometric_mean
+from repro.harness.runner import ALL_APPS, SweepRunner
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    started = time.time()
+    runner = SweepRunner(instructions_per_thread=instructions, seed=0)
+    reports = {}
+
+    print(f"Sweeping {len(ALL_APPS)} apps x 7 configs "
+          f"({instructions} instructions/thread)...\n")
+
+    for key, make in (
+        ("figure9", lambda: figure9(runner)),
+        ("table3", lambda: table3(runner)),
+        ("table4", lambda: table4(runner)),
+        ("figure10", lambda: figure10(instructions=instructions)),
+        ("figure11", lambda: figure11(instructions=instructions)),
+    ):
+        t0 = time.time()
+        data, report = make()
+        reports[key] = (data, report)
+        print(report)
+        print(f"[{key} in {time.time() - t0:.0f}s]\n")
+
+    series, __ = reports["figure9"]
+    gm = {
+        name: geometric_mean([series[name][a] for a in ALL_APPS])
+        for name in series
+    }
+    print("Figure 9 geometric means:", {k: round(v, 3) for k, v in gm.items()})
+    print(f"\nTotal wall time: {time.time() - started:.0f}s")
+    print("Renderings above correspond to EXPERIMENTS.md; "
+          "see that file for the paper-vs-measured discussion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environment).
+
+All project metadata lives in pyproject.toml; this file exists because
+the sandbox has no `wheel` package, so pip falls back to the legacy
+`setup.py develop` editable path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""BulkSC: Bulk Enforcement of Sequential Consistency — reproduction.
+
+A from-scratch, cycle-approximate multiprocessor simulator implementing
+the BulkSC architecture (Ceze, Tuck, Montesinos, Torrellas — ISCA 2007)
+together with the SC, RC, and SC++ baselines it is evaluated against.
+
+Quickstart::
+
+    from repro import run_workload, bsc_dypvt, rc_config
+    from repro.workloads import splash2_workload
+
+    config = bsc_dypvt()
+    workload = splash2_workload("barnes", config)
+    result = run_workload(config, workload.programs, workload.address_space)
+    print(result.cycles, result.stats["commit.grants"])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.params import (
+    ArbiterTopology,
+    BaselineConfig,
+    BulkSCConfig,
+    CacheGeometry,
+    ConsistencyModelKind,
+    MemoryConfig,
+    NAMED_CONFIGS,
+    PrivateDataMode,
+    ProcessorConfig,
+    SignatureConfig,
+    SystemConfig,
+    bsc_base,
+    bsc_dypvt,
+    bsc_exact,
+    bsc_stpvt,
+    paper_config,
+    rc_config,
+    sc_config,
+    scpp_config,
+    tso_config,
+)
+from repro.system import Machine, RunResult, run_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemConfig",
+    "ProcessorConfig",
+    "MemoryConfig",
+    "CacheGeometry",
+    "BulkSCConfig",
+    "BaselineConfig",
+    "SignatureConfig",
+    "ConsistencyModelKind",
+    "PrivateDataMode",
+    "ArbiterTopology",
+    "NAMED_CONFIGS",
+    "paper_config",
+    "bsc_base",
+    "bsc_dypvt",
+    "bsc_stpvt",
+    "bsc_exact",
+    "sc_config",
+    "rc_config",
+    "tso_config",
+    "scpp_config",
+    # running
+    "Machine",
+    "RunResult",
+    "run_workload",
+]

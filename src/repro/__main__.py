@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run`` — simulate one application under one configuration and print a
+  report (optionally JSON).
+* ``compare`` — run one application under several configurations and
+  print speedups normalized to the first.
+* ``litmus`` — run the litmus suite under a configuration.
+* ``experiments`` — regenerate one of the paper's tables/figures.
+* ``list`` — show the available applications and configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import figure9, figure10, figure11, table3, table4
+from repro.harness.metrics import speedup_over
+from repro.harness.runner import ALL_APPS, SweepRunner, build_app_workload
+from repro.params import NAMED_CONFIGS
+from repro.system import run_workload
+from repro.tools.report import summarize_run
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=10_000,
+        help="dynamic instructions per thread (default 10000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("applications:")
+    for app in ALL_APPS:
+        print(f"  {app}")
+    print("configurations:")
+    for name in NAMED_CONFIGS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.config not in NAMED_CONFIGS:
+        print(f"unknown configuration {args.config!r}; try `list`", file=sys.stderr)
+        return 2
+    if args.app not in ALL_APPS:
+        print(f"unknown application {args.app!r}; try `list`", file=sys.stderr)
+        return 2
+    config = NAMED_CONFIGS[args.config](seed=args.seed)
+    workload = build_app_workload(args.app, config, args.instructions, args.seed)
+    result = run_workload(
+        config, workload.programs, workload.address_space, record_history=False
+    )
+    if args.json:
+        payload = {
+            "app": args.app,
+            "config": args.config,
+            "cycles": result.cycles,
+            "instructions": result.total_instructions,
+            "traffic_bytes": result.traffic_bytes,
+            "stats": {
+                k: v
+                for k, v in result.stats.items()
+                if not k.startswith("proc") or args.verbose
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(summarize_run(result))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    configs = args.configs or ["RC", "SC", "BSCdypvt"]
+    for name in configs:
+        if name not in NAMED_CONFIGS:
+            print(f"unknown configuration {name!r}; try `list`", file=sys.stderr)
+            return 2
+    runner = SweepRunner(args.instructions, args.seed)
+    baseline = runner.result(configs[0], args.app)
+    print(f"{args.app} ({args.instructions} instructions/thread), "
+          f"normalized to {configs[0]}:")
+    for name in configs:
+        result = runner.result(name, args.app)
+        print(
+            f"  {name:10s} {result.cycles:12.0f} cycles   "
+            f"speedup {speedup_over(baseline, result):.3f}"
+        )
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from repro.cpu.isa import Compute
+    from repro.cpu.thread import ThreadProgram
+    from repro.memory.address import AddressMap, AddressSpace
+    from repro.verify.litmus import all_litmus_tests
+    from repro.verify.sc_checker import check_sequential_consistency
+
+    config_factory = NAMED_CONFIGS.get(args.config)
+    if config_factory is None:
+        print(f"unknown configuration {args.config!r}", file=sys.stderr)
+        return 2
+    staggers = [(1, 1), (1, 60), (60, 1), (200, 7)]
+    print(f"litmus under {args.config}:")
+    exit_code = 0
+    for test in all_litmus_tests():
+        forbidden = failures = runs = 0
+        for seed in range(args.seed, args.seed + 3):
+            config = config_factory(seed=seed)
+            for stagger in staggers:
+                runs += 1
+                space = AddressSpace(
+                    AddressMap(config.memory.words_per_line, config.num_directories)
+                )
+                addrs = {
+                    var: space.allocate(
+                        var, config.memory.words_per_line
+                    ).start_word
+                    for var in test.variables
+                }
+                programs = [
+                    ThreadProgram(
+                        [Compute(stagger[i % len(stagger)])] + ops, name=f"t{i}"
+                    )
+                    for i, ops in enumerate(test.build(addrs))
+                ]
+                result = run_workload(config, programs, space)
+                forbidden += test.forbidden(result.registers)
+                failures += not check_sequential_consistency(result.history).ok
+        print(
+            f"  {test.name:6s} forbidden {forbidden:2d}/{runs}   "
+            f"witness failures {failures:2d}/{runs}"
+        )
+    return exit_code
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    runner = SweepRunner(args.instructions, args.seed)
+    apps = args.apps or list(ALL_APPS)
+    if args.name == "figure9":
+        __, report = figure9(runner, apps=apps)
+    elif args.name == "figure10":
+        __, report = figure10(instructions=args.instructions, seed=args.seed, apps=apps)
+    elif args.name == "figure11":
+        __, report = figure11(instructions=args.instructions, seed=args.seed, apps=apps)
+    elif args.name == "table3":
+        __, report = table3(runner, apps=apps)
+    elif args.name == "table4":
+        __, report = table4(runner, apps=apps)
+    else:
+        print(f"unknown experiment {args.name!r}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BulkSC reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list applications and configurations")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate one app under one configuration")
+    p_run.add_argument("app", help="application name (see `list`)")
+    p_run.add_argument("--config", default="BSCdypvt", help="configuration name")
+    p_run.add_argument("--json", action="store_true", help="emit JSON")
+    p_run.add_argument("--verbose", action="store_true", help="include per-proc stats")
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare configurations on one app")
+    p_cmp.add_argument("app")
+    p_cmp.add_argument("configs", nargs="*", help="configurations (default RC SC BSCdypvt)")
+    _add_common(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_lit = sub.add_parser("litmus", help="run the litmus suite")
+    p_lit.add_argument("--config", default="BSCdypvt")
+    p_lit.add_argument("--seed", type=int, default=0)
+    p_lit.set_defaults(func=_cmd_litmus)
+
+    p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
+    p_exp.add_argument(
+        "name",
+        choices=["figure9", "figure10", "figure11", "table3", "table4"],
+    )
+    p_exp.add_argument("--apps", nargs="*", help="app subset (default: all)")
+    _add_common(p_exp)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Baseline consistency models the paper compares against.
+
+* :mod:`repro.consistency.sc` — SC with hardware read prefetching and
+  exclusive prefetching for writes [Gharachorloo'91].
+* :mod:`repro.consistency.rc` — Release Consistency with a store buffer
+  and speculative execution across fences.
+* :mod:`repro.consistency.scpp` — SC++ [Gniady'99]: RC-like timing with a
+  Speculative History Queue (SHiQ) that rolls back on conflicting remote
+  writes, preserving SC semantics.
+"""
+
+from repro.consistency.base import BaselineDriver
+from repro.consistency.rc import RCDriver
+from repro.consistency.sc import SCDriver
+from repro.consistency.scpp import SCPPDriver
+from repro.consistency.tso import TSODriver
+
+__all__ = ["BaselineDriver", "SCDriver", "RCDriver", "SCPPDriver", "TSODriver"]

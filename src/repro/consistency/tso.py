@@ -1,0 +1,25 @@
+"""A TSO (total-store-order) baseline — an extension beyond the paper.
+
+TSO is the store-buffer-only relaxation (x86-like): stores drain in FIFO
+order, so store-store and load-load order are preserved and only the
+store→load order relaxes.  It sits between the paper's SC and RC:
+
+* SB (Dekker) still exhibits the forbidden outcome (store buffer), but
+* MP/LB/IRIW outcomes are forbidden — unlike genuine RC, which reorders
+  store drains.
+
+Implementation-wise TSO is :class:`~repro.consistency.rc.RCDriver` with
+FIFO drains; everything else (forwarding, fences, release drains) is
+shared.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.rc import RCDriver
+
+
+class TSODriver(RCDriver):
+    """Total Store Order: RC machinery with in-order store drains."""
+
+    model_name = "TSO"
+    fifo_drains = True

@@ -1,0 +1,163 @@
+"""The commit arbiter (paper Section 4.2).
+
+The arbiter is a simple state machine holding the W signatures of all
+currently-committing chunks.  A permission-to-commit request carries the
+chunk's R and W signatures; permission is granted iff every W in the list
+has an empty intersection with both.  Granted non-empty W signatures join
+the list until the commit's invalidations are acknowledged.
+
+The **RSig optimization** (4.2.2, on by default): requests carry only W;
+when the list is empty — the common case, thanks to private-data
+filtering — the arbiter grants immediately and the R transfer is saved.
+Otherwise it asks the processor for R and decides as usual.
+
+**Pre-arbitration** (3.3): a processor that keeps getting squashed may
+reserve the arbiter; while reserved, commit requests from other
+processors are denied, guaranteeing the reserving processor's next chunk
+commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.engine.stats import StatsRegistry
+from repro.errors import ProtocolError
+from repro.params import BulkSCConfig
+from repro.signatures.base import Signature
+
+
+@dataclass(frozen=True)
+class ArbitrationDecision:
+    """Outcome of one arbitration step."""
+
+    granted: bool
+    needs_r_signature: bool = False
+    reason: str = ""
+
+
+class Arbiter:
+    """A centralized arbiter (one per machine, or per range if distributed)."""
+
+    def __init__(
+        self,
+        config: BulkSCConfig,
+        stats: Optional[StatsRegistry] = None,
+        index: int = 0,
+    ):
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry("arbiter")
+        self.index = index
+        # commit_id -> (W signature, processor)
+        self._active: Dict[int, Tuple[Signature, int]] = {}
+        self._reserved_by: Optional[int] = None
+        self._name = f"arbiter{index}"
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        proc: int,
+        w_sig: Signature,
+        r_sig: Optional[Signature],
+        now: float,
+    ) -> ArbitrationDecision:
+        """Process a permission-to-commit request.
+
+        ``r_sig=None`` models the RSig protocol's first message (W only);
+        the arbiter then either grants (empty list) or requests R.
+        """
+        self.stats.bump(f"{self._name}.requests")
+        if self._reserved_by is not None and self._reserved_by != proc:
+            self.stats.bump(f"{self._name}.denied_prearbitration")
+            return ArbitrationDecision(False, reason="pre-arbitration reservation")
+        if not self._active:
+            return self._grant(w_sig, now, r_was_needed=False)
+        if self.config.serialize_commits:
+            # Naive design (Section 3.2.1): only one chunk commits at a
+            # time, regardless of signature overlap.
+            self.stats.bump(f"{self._name}.denied_serialized")
+            return ArbitrationDecision(False, reason="commit in progress (naive)")
+        if r_sig is None and self.config.rsig_optimization:
+            self.stats.bump(f"{self._name}.r_signature_requests")
+            return ArbitrationDecision(
+                False, needs_r_signature=True, reason="W list non-empty; send R"
+            )
+        if len(self._active) >= self.config.max_simultaneous_commits:
+            self.stats.bump(f"{self._name}.denied_capacity")
+            return ArbitrationDecision(False, reason="commit capacity reached")
+        effective_r = r_sig if r_sig is not None else w_sig.empty_like()
+        for active_w, __ in self._active.values():
+            if not active_w.intersect(effective_r).is_empty():
+                self.stats.bump(f"{self._name}.denied_r_collision")
+                return ArbitrationDecision(False, reason="R collides with committing W")
+            if not active_w.intersect(w_sig).is_empty():
+                self.stats.bump(f"{self._name}.denied_w_collision")
+                return ArbitrationDecision(False, reason="W collides with committing W")
+        return self._grant(w_sig, now, r_was_needed=True)
+
+    def _grant(self, w_sig: Signature, now: float, r_was_needed: bool) -> ArbitrationDecision:
+        self.stats.bump(f"{self._name}.grants")
+        if w_sig.is_empty():
+            self.stats.bump(f"{self._name}.empty_w_commits")
+        if r_was_needed:
+            self.stats.bump(f"{self._name}.grants_after_r")
+        return ArbitrationDecision(True)
+
+    # ------------------------------------------------------------------
+    # W-list management
+    # ------------------------------------------------------------------
+    def admit(self, commit_id: int, proc: int, w_sig: Signature, now: float) -> None:
+        """Add a granted, non-empty W to the committing list."""
+        if w_sig.is_empty():
+            return  # empty W never enters the list (Section 5)
+        if commit_id in self._active:
+            raise ProtocolError(f"commit {commit_id} already active at {self._name}")
+        self._active[commit_id] = (w_sig, proc)
+        self._track_occupancy(now)
+
+    def release(self, commit_id: int, now: float) -> None:
+        """All invalidation acknowledgements arrived; drop the W."""
+        self._active.pop(commit_id, None)
+        self._track_occupancy(now)
+
+    def abort(self, commit_id: int, now: float) -> None:
+        """A granted chunk was abandoned (squash raced the grant)."""
+        if commit_id in self._active:
+            self.stats.bump(f"{self._name}.aborted_commits")
+        self.release(commit_id, now)
+
+    def _track_occupancy(self, now: float) -> None:
+        self.stats.time_weighted(f"{self._name}.pending_w").set(
+            len(self._active), now
+        )
+
+    # ------------------------------------------------------------------
+    # Pre-arbitration (forward progress)
+    # ------------------------------------------------------------------
+    def reserve(self, proc: int) -> bool:
+        """Reserve exclusive commit rights for ``proc`` (pre-arbitration)."""
+        if self._reserved_by is not None and self._reserved_by != proc:
+            return False
+        self._reserved_by = proc
+        self.stats.bump(f"{self._name}.reservations")
+        return True
+
+    def clear_reservation(self, proc: int) -> None:
+        if self._reserved_by == proc:
+            self._reserved_by = None
+
+    @property
+    def reserved_by(self) -> Optional[int]:
+        return self._reserved_by
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def list_empty(self) -> bool:
+        return not self._active

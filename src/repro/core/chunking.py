@@ -1,0 +1,68 @@
+"""Chunk-boundary policy and forward progress (Sections 3.3, 4.1.2).
+
+Processors break the dynamic instruction stream into chunks of roughly
+``chunk_size_instructions`` (1,000 by default; the paper found performance
+fairly insensitive to the value).  A chunk also closes early when its data
+is about to overflow a cache set.
+
+Forward progress after repeated squashes uses the paper's two measures:
+
+1. **Exponential shrink** — each squash divides the next attempt's target
+   size by ``squash_shrink_factor``, sharply increasing the chance the
+   shorter chunk commits before a conflicting remote commit lands.
+2. **Pre-arbitration** — after ``prearbitrate_after_squashes`` consecutive
+   squashes even a minimal chunk keeps dying, so the processor asks the
+   arbiter for exclusive execution: the arbiter rejects other commit
+   requests until this processor's next commit goes through.
+
+A successful commit resets the policy to the full chunk size.
+"""
+
+from __future__ import annotations
+
+from repro.params import BulkSCConfig
+
+
+class ChunkingPolicy:
+    """Per-processor chunk sizing and squash-escalation state."""
+
+    MIN_CHUNK_INSTRUCTIONS = 4
+
+    def __init__(self, config: BulkSCConfig):
+        self.config = config
+        self._target = config.chunk_size_instructions
+        self._consecutive_squashes = 0
+        self.prearbitrations = 0
+        self.shrinks = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def target_instructions(self) -> int:
+        """Instruction budget for the next chunk."""
+        return self._target
+
+    def should_close(self, instructions_so_far: int) -> bool:
+        return instructions_so_far >= self._target
+
+    # ------------------------------------------------------------------
+    def note_squash(self) -> None:
+        """A chunk squashed: shrink the next attempt exponentially."""
+        self._consecutive_squashes += 1
+        shrunk = self._target // self.config.squash_shrink_factor
+        if shrunk >= self.MIN_CHUNK_INSTRUCTIONS:
+            self._target = shrunk
+            self.shrinks += 1
+
+    def note_commit(self) -> None:
+        """A chunk committed: restore the configured chunk size."""
+        self._consecutive_squashes = 0
+        self._target = self.config.chunk_size_instructions
+
+    @property
+    def wants_prearbitration(self) -> bool:
+        """True when squashing persists and exclusive execution is needed."""
+        return self._consecutive_squashes >= self.config.prearbitrate_after_squashes
+
+    @property
+    def consecutive_squashes(self) -> int:
+        return self._consecutive_squashes

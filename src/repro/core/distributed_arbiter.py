@@ -1,0 +1,195 @@
+"""Distributed arbitration (paper Section 4.2.3, Figure 8).
+
+For large machines the single arbiter is distributed into one module per
+address range (co-located with that range's directory).  A chunk that
+accessed a single range arbitrates locally; a chunk spanning ranges goes
+through the **G-arbiter**, which fans the request out to every involved
+range arbiter, combines their verdicts, and replies to all parties.
+
+The G-arbiter optionally caches the W signatures of multi-range commits
+it coordinated so it can fast-deny colliding requests without a fan-out
+round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.arbiter import Arbiter
+from repro.engine.stats import StatsRegistry
+from repro.params import BulkSCConfig
+from repro.signatures.base import Signature
+
+
+@dataclass(frozen=True)
+class DistributedDecision:
+    """Combined outcome of a (possibly multi-range) arbitration."""
+
+    granted: bool
+    needs_r_signature: bool
+    used_g_arbiter: bool
+    involved_ranges: Tuple[int, ...]
+    reason: str = ""
+
+
+class GlobalArbiter:
+    """The coordinator for multi-range commits (with a W-signature cache)."""
+
+    def __init__(self, stats: Optional[StatsRegistry] = None, cache_w: bool = True):
+        self.stats = stats if stats is not None else StatsRegistry("garbiter")
+        self.cache_w = cache_w
+        self._cached: Dict[int, Signature] = {}  # commit_id -> W
+
+    def fast_deny(self, r_sig: Optional[Signature], w_sig: Signature) -> bool:
+        """Check the W cache before fanning out (Section 4.2.3 speedup)."""
+        if not self.cache_w or not self._cached:
+            return False
+        for cached_w in self._cached.values():
+            if not cached_w.intersect(w_sig).is_empty():
+                self.stats.bump("garbiter.fast_denies")
+                return True
+            if r_sig is not None and not cached_w.intersect(r_sig).is_empty():
+                self.stats.bump("garbiter.fast_denies")
+                return True
+        return False
+
+    def note_granted(self, commit_id: int, w_sig: Signature) -> None:
+        if self.cache_w and not w_sig.is_empty():
+            self._cached[commit_id] = w_sig
+
+    def note_released(self, commit_id: int) -> None:
+        self._cached.pop(commit_id, None)
+
+
+class DistributedArbiter:
+    """Per-address-range arbiters plus the G-arbiter front end.
+
+    Presents the same ``decide`` / ``admit`` / ``release`` surface as the
+    central :class:`~repro.core.arbiter.Arbiter`, with additional routing
+    metadata in the decision so the commit transaction can charge the
+    right message flow (Figure 8a vs 8b).
+    """
+
+    def __init__(
+        self,
+        config: BulkSCConfig,
+        num_ranges: int,
+        stats: Optional[StatsRegistry] = None,
+    ):
+        if num_ranges < 1:
+            raise ValueError("need at least one address range")
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry("distarb")
+        self.num_ranges = num_ranges
+        self.arbiters: List[Arbiter] = [
+            Arbiter(config, self.stats, index=i) for i in range(num_ranges)
+        ]
+        self.g_arbiter = GlobalArbiter(self.stats)
+        # commit_id -> ranges it was admitted to (for release routing).
+        self._admitted_ranges: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def ranges_of(self, line_addrs: Set[int]) -> Tuple[int, ...]:
+        """Which address ranges (== directory modules) a chunk touched."""
+        mask = self.num_ranges - 1
+        return tuple(sorted({addr & mask for addr in line_addrs}))
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        proc: int,
+        w_sig: Signature,
+        r_sig: Optional[Signature],
+        ranges: Sequence[int],
+        now: float,
+    ) -> DistributedDecision:
+        """Arbitrate across the involved ranges."""
+        involved = tuple(ranges) if ranges else (0,)
+        if len(involved) == 1:
+            decision = self.arbiters[involved[0]].decide(proc, w_sig, r_sig, now)
+            return DistributedDecision(
+                granted=decision.granted,
+                needs_r_signature=decision.needs_r_signature,
+                used_g_arbiter=False,
+                involved_ranges=involved,
+                reason=decision.reason,
+            )
+        self.stats.bump("garbiter.multi_range_requests")
+        if self.g_arbiter.fast_deny(r_sig, w_sig):
+            return DistributedDecision(
+                granted=False,
+                needs_r_signature=False,
+                used_g_arbiter=True,
+                involved_ranges=involved,
+                reason="G-arbiter cached W collision",
+            )
+        decisions = [
+            self.arbiters[r].decide(proc, w_sig, r_sig, now) for r in involved
+        ]
+        if any(d.needs_r_signature for d in decisions):
+            return DistributedDecision(
+                granted=False,
+                needs_r_signature=True,
+                used_g_arbiter=True,
+                involved_ranges=involved,
+            )
+        denied = next((d for d in decisions if not d.granted), None)
+        if denied is not None:
+            return DistributedDecision(
+                granted=False,
+                needs_r_signature=False,
+                used_g_arbiter=True,
+                involved_ranges=involved,
+                reason=denied.reason,
+            )
+        return DistributedDecision(
+            granted=True,
+            needs_r_signature=False,
+            used_g_arbiter=True,
+            involved_ranges=involved,
+        )
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        commit_id: int,
+        proc: int,
+        w_sig: Signature,
+        ranges: Sequence[int],
+        now: float,
+    ) -> None:
+        involved = tuple(ranges) if ranges else (0,)
+        for r in involved:
+            self.arbiters[r].admit(commit_id, proc, w_sig, now)
+        self._admitted_ranges[commit_id] = involved
+        if len(involved) > 1:
+            self.g_arbiter.note_granted(commit_id, w_sig)
+
+    def release(self, commit_id: int, now: float) -> None:
+        for r in self._admitted_ranges.pop(commit_id, ()):
+            self.arbiters[r].release(commit_id, now)
+        self.g_arbiter.note_released(commit_id)
+
+    def abort(self, commit_id: int, now: float) -> None:
+        for r in self._admitted_ranges.pop(commit_id, ()):
+            self.arbiters[r].abort(commit_id, now)
+        self.g_arbiter.note_released(commit_id)
+
+    # ------------------------------------------------------------------
+    # Pre-arbitration fans out to every range.
+    # ------------------------------------------------------------------
+    def reserve(self, proc: int) -> bool:
+        if all(a.reserved_by in (None, proc) for a in self.arbiters):
+            for arbiter in self.arbiters:
+                arbiter.reserve(proc)
+            return True
+        return False
+
+    def clear_reservation(self, proc: int) -> None:
+        for arbiter in self.arbiters:
+            arbiter.clear_reservation(proc)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(a.pending_count for a in self.arbiters)

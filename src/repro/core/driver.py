@@ -1,0 +1,604 @@
+"""The BulkSC processor driver (paper Sections 3, 4.1).
+
+Processors repeatedly — and only — execute chunks, separated by
+checkpoints.  Within a chunk every memory access overlaps and reorders
+freely: loads gate only their dependent uses (like RC loads) and stores
+are completely wait-free (they retire into the chunk's write buffer).
+Explicit synchronization inserts no fences: lock acquires and flag spins
+execute speculatively inside chunks, and a processor that loses a race is
+squashed and replayed by the winner's commit — exactly the paper's
+Figure 6 semantics.
+
+The driver owns chunk lifecycle: creation (checkpoint + fresh signature
+triple in the BDM), closing (instruction budget, cache-set overflow,
+barriers, program end), in-order commit submission, squash-and-replay
+(with exponential shrink and pre-arbitration for forward progress), and
+the private-data store classification of Section 5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.core.chunk import Chunk, ChunkState
+from repro.core.chunking import ChunkingPolicy
+from repro.cpu.checkpoint import Checkpoint
+from repro.cpu.driver import DriverState, ProcessorDriver
+from repro.cpu.isa import (
+    Barrier,
+    Compute,
+    Fence,
+    Io,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Op,
+    OpKind,
+    SpinUntil,
+    Store,
+    resolve_operand,
+)
+from repro.errors import ProgramError, SimulationError
+from repro.interconnect.network import Network
+from repro.params import PrivateDataMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import Machine
+
+
+class BulkSCDriver(ProcessorDriver):
+    """Chunked execution under BulkSC."""
+
+    model_name = "BulkSC"
+
+    #: Extra cycles charged when a squash restores the checkpoint
+    #: (pipeline refill, like a branch mispredict).
+    SQUASH_RESTORE_CYCLES = 17
+
+    def __init__(self, proc: int, thread, machine: "Machine"):
+        super().__init__(proc, thread, machine)
+        self.coherence = machine.coherence
+        self.memory = machine.memory
+        self.sync = machine.sync
+        self.history = machine.history
+        self.address_map = machine.coherence.address_map
+        self.address_space = machine.address_space
+        self.stats = machine.stats
+        self.bdm = machine.bdms[proc]
+        self.config = machine.config.bulksc
+        self.policy = ChunkingPolicy(self.config)
+        self.private_mode = self.config.private_data_mode
+        self._chunk_counter = 0
+        self._current: Optional[Chunk] = None
+        self._commit_fifo: Deque[Chunk] = deque()
+        self._arbitrating: Optional[Chunk] = None
+        self._holding_reservation = False
+        self._barrier_after_chunk: Optional[Chunk] = None
+        self._pending_barrier: Optional[Barrier] = None
+        self._io_after_chunk: Optional[Chunk] = None
+        self._pending_io: Optional[Io] = None
+        self._draining_for_finish = False
+        # Why execute_op returned False: 'slot' (chunk slots all busy or
+        # set overflow), 'spin' (lock/flag held; squash will wake us),
+        # 'barrier-gate' (waiting for own commits before arriving), or
+        # 'barrier-release' (arrived, waiting for the others).
+        self._block_reason: Optional[str] = None
+        # Aggregate statistics for Table 3.
+        self.squashed_instructions = 0
+        self.committed_instructions = 0
+        self.chunk_squashes = 0
+        self.chunk_commits = 0
+
+    # ==================================================================
+    # Chunk lifecycle
+    # ==================================================================
+    def _active_count(self) -> int:
+        return sum(1 for c in self.bdm.active_chunks() if not c.is_done)
+
+    def _ensure_chunk(self) -> bool:
+        """Make sure an executing chunk exists; False if no slot is free."""
+        if self._current is not None:
+            return True
+        if self._active_count() >= self.config.chunks_per_processor:
+            self.stats.bump(f"proc{self.proc}.chunk_slot_stalls")
+            return False
+        self._chunk_counter += 1
+        r_sig, w_sig, wpriv_sig = self.bdm.new_signature_triple()
+        chunk = Chunk(
+            chunk_id=self._chunk_counter,
+            proc=self.proc,
+            checkpoint=Checkpoint.take(self.thread),
+            r_sig=r_sig,
+            w_sig=w_sig,
+            wpriv_sig=wpriv_sig,
+            target_instructions=self.policy.target_instructions,
+        )
+        self.bdm.register_chunk(chunk)
+        self._current = chunk
+        if self.policy.wants_prearbitration and not self._holding_reservation:
+            self._prearbitrate()
+        return True
+
+    def _prearbitrate(self) -> None:
+        """Forward-progress fallback: reserve the arbiter before executing."""
+        if self.machine.arbiter.reserve(self.proc):
+            self._holding_reservation = True
+            self.policy.prearbitrations += 1
+            self.stats.bump(f"proc{self.proc}.prearbitrations")
+            # Ask-and-wait round trip before execution may proceed.
+            self.coherence.network.control(
+                Network.proc(self.proc), Network.arbiter(0)
+            )
+            self.window.stall_until(
+                self.window.now + self.config.commit_arbitration_latency
+            )
+
+    def _close_current(self, reason: str) -> None:
+        """Complete the executing chunk and queue it for in-order commit."""
+        chunk = self._current
+        if chunk is None:
+            return
+        if chunk.is_empty:
+            # Nothing happened; recycle the chunk rather than commit air.
+            chunk.mark(ChunkState.COMMITTED)
+            self.bdm.deregister_chunk(chunk)
+            self._current = None
+            return
+        chunk.mark(ChunkState.COMPLETE)
+        chunk.close_reason = reason
+        self.stats.bump(f"proc{self.proc}.chunks_closed.{reason}")
+        self._current = None
+        self._commit_fifo.append(chunk)
+        self._try_submit_head()
+
+    def _try_submit_head(self) -> None:
+        """Commit requests must be issued in strict per-processor order."""
+        if self._arbitrating is not None:
+            return
+        while self._commit_fifo:
+            chunk = self._commit_fifo.popleft()
+            if chunk.state is ChunkState.SQUASHED:
+                continue
+            # Gate: every forward to successor R signatures must be logged
+            # before arbitration begins (Section 4.1.2).
+            self.bdm.drain_forward_log()
+            self._arbitrating = chunk
+            self.machine.commit_engine.submit(
+                chunk,
+                at_time=max(self.window.now, self.sim.now),
+                on_committed=self._on_chunk_committed,
+                on_granted=self._on_chunk_granted,
+            )
+            return
+
+    def _on_chunk_granted(self, chunk: Chunk) -> None:
+        if self._arbitrating is chunk:
+            self._arbitrating = None
+        if self._holding_reservation:
+            self.machine.arbiter.clear_reservation(self.proc)
+            self._holding_reservation = False
+        if self.private_mode is PrivateDataMode.DYNAMIC:
+            # Commit permission granted on W alone: the Private Buffer
+            # entries and Wpriv die here — the writebacks were skipped.
+            for line in chunk.private_buffer_lines:
+                self.bdm.private_buffer.drop(line)
+        self._try_submit_head()
+
+    def _on_chunk_committed(self, chunk: Chunk) -> None:
+        self.bdm.deregister_chunk(chunk)
+        self.policy.note_commit()
+        self.chunk_commits += 1
+        self.committed_instructions += chunk.instructions
+        self.stats.bump(f"proc{self.proc}.chunk_commits")
+        self.stats.distribution(f"proc{self.proc}.read_set").sample(
+            len(chunk.true_read_lines)
+        )
+        self.stats.distribution(f"proc{self.proc}.write_set").sample(
+            len(chunk.true_written_lines)
+        )
+        self.stats.distribution(f"proc{self.proc}.priv_write_set").sample(
+            len(chunk.true_private_lines)
+        )
+        if self._barrier_after_chunk is chunk:
+            self._barrier_after_chunk = None
+            self._arrive_barrier()
+            return
+        if self._io_after_chunk is chunk:
+            self._io_after_chunk = None
+            self._perform_pending_io()
+            self.wake_advance(self.sim.now)
+            return
+        if self.state is DriverState.BLOCKED and self._block_reason == "slot":
+            # Waiting on a chunk slot or set-overflow; a slot just freed.
+            self.wake_retry(self.sim.now)
+        if (
+            self._draining_for_finish
+            and self.thread.finished
+            and self._active_count() == 0
+        ):
+            self._draining_for_finish = False
+            self.complete_finish()
+
+    # ==================================================================
+    # Squash and replay
+    # ==================================================================
+    def on_incoming_commit(
+        self, committing_chunk: Chunk, now: float, on_invalidation_list: bool = True
+    ) -> None:
+        """A remote chunk's W signature arrived: disambiguate + invalidate.
+
+        ``on_invalidation_list`` is False when the directory's sharer
+        filter would not have forwarded W here; disambiguation still runs
+        (correctness) and a miss is counted (it should never fire —
+        validating the paper's claim that the directory filter is safe).
+        """
+        w_commit = committing_chunk.w_sig
+        colliding = self.bdm.disambiguate(w_commit)
+        if not colliding and not on_invalidation_list:
+            # Ground truth said conflict but the signatures disagree —
+            # impossible for a superset encoding; squash conservatively.
+            colliding = [c for c in self.bdm.active_chunks() if c.is_active]
+        if colliding:
+            oldest = min(colliding, key=lambda c: c.chunk_id)
+            self._squash_from(oldest, now)
+        if on_invalidation_list:
+            # Bulk-invalidate the stale copies named by W, squash or not.
+            __, unnecessary = self.bdm.bulk_invalidate(
+                w_commit, committing_chunk.true_written_lines
+            )
+            self.stats.bump(
+                f"proc{self.proc}.extra_cache_invalidations", unnecessary
+            )
+
+    def _squash_from(self, oldest: Chunk, now: float) -> None:
+        """Squash ``oldest`` and every younger local chunk, then replay."""
+        chain = [
+            c
+            for c in self.bdm.active_chunks()
+            if c.is_active and c.chunk_id >= oldest.chunk_id
+        ]
+        if not chain:
+            return
+        chain.sort(key=lambda c: c.chunk_id)
+        for chunk in reversed(chain):
+            self.squashed_instructions += chunk.instructions
+            self.chunk_squashes += 1
+            self.stats.bump(f"proc{self.proc}.chunk_squashes")
+            self.stats.bump(
+                f"proc{self.proc}.squashed_instructions", chunk.instructions
+            )
+            # Discard speculatively-written lines from the cache.
+            self.bdm.bulk_invalidate(chunk.w_sig, chunk.true_written_lines)
+            # Private Buffer pre-images flow back into the cache (the
+            # committed image was never disturbed, so values are intact).
+            for line in chunk.private_buffer_lines:
+                self.bdm.private_buffer.drop(line)
+            chunk.squash_count += 1
+            chunk.mark(ChunkState.SQUASHED)
+            self.bdm.deregister_chunk(chunk)
+            if chunk is self._current:
+                self._current = None
+            if chunk is self._arbitrating:
+                self._arbitrating = None
+            if chunk is self._barrier_after_chunk:
+                self._barrier_after_chunk = None
+        self._commit_fifo = deque(
+            c for c in self._commit_fifo if c.state is not ChunkState.SQUASHED
+        )
+        self.policy.note_squash()
+        # Restore the oldest squashed chunk's checkpoint and replay.  A
+        # stale barrier or I/O op will be re-executed, so forget it.
+        self._pending_barrier = None
+        self._pending_io = None
+        chain[0].checkpoint.restore(self.thread)
+        self.window.stall_until(max(now, self.window.now) + self.SQUASH_RESTORE_CYCLES)
+        self._draining_for_finish = False
+        if self.state is DriverState.BLOCKED:
+            if self._block_reason == "barrier-release":
+                raise SimulationError(
+                    f"proc {self.proc}: squash while waiting for barrier "
+                    "release — arrival gate violated"
+                )
+            self.wake_retry(self.sim.now)
+        self._try_submit_head()
+
+    # ==================================================================
+    # Op execution
+    # ==================================================================
+    def _block(self, reason: str) -> bool:
+        """Record why execute_op is returning False (for wake routing).
+
+        Blocking on *other processors' progress* ('spin' on a held lock,
+        'barrier-release') while holding a pre-arbitration reservation
+        would livelock the machine: the lock holder / barrier peers need
+        the commit grants this processor is blocking.  Release the
+        reservation in those cases; the next squash streak re-acquires it
+        if still needed.
+        """
+        self._block_reason = reason
+        if reason in ("spin", "barrier-release") and self._holding_reservation:
+            self.machine.arbiter.clear_reservation(self.proc)
+            self._holding_reservation = False
+            self.stats.bump(f"proc{self.proc}.reservation_yields")
+        return False
+
+    def execute_op(self, op: Op) -> bool:
+        self._block_reason = None
+        if not self._ensure_chunk():
+            return self._block("slot")  # all chunk slots busy committing
+        assert self._current is not None
+        if self.policy.should_close(self._current.instructions):
+            self._close_current("size")
+            if not self._ensure_chunk():
+                return self._block("slot")
+        kind = op.kind
+        if kind is OpKind.COMPUTE:
+            assert isinstance(op, Compute)
+            self.window.retire_compute(op.count)
+            self._current.instructions += op.count
+            return True
+        if kind is OpKind.LOAD:
+            assert isinstance(op, Load)
+            return self._execute_load(op)
+        if kind is OpKind.STORE:
+            assert isinstance(op, Store)
+            return self._execute_store(op)
+        if kind is OpKind.ACQUIRE:
+            assert isinstance(op, LockAcquire)
+            return self._execute_acquire(op)
+        if kind is OpKind.RELEASE:
+            assert isinstance(op, LockRelease)
+            return self._execute_release(op)
+        if kind is OpKind.BARRIER:
+            assert isinstance(op, Barrier)
+            return self._execute_barrier(op)
+        if kind is OpKind.FENCE:
+            # BulkSC needs no fences: SC comes from chunk serialization.
+            self._current.instructions += 1
+            return True
+        if kind is OpKind.SPIN_UNTIL:
+            assert isinstance(op, SpinUntil)
+            return self._execute_spin(op)
+        if kind is OpKind.IO:
+            assert isinstance(op, Io)
+            return self._execute_io(op)
+        raise ProgramError(f"unknown op kind {kind}")
+
+    # ------------------------------------------------------------------
+    def _check_overflow(self, line: int) -> bool:
+        """Close the chunk if fetching ``line`` would overflow a set.
+
+        Returns False when execution must block (pinned lines from
+        still-committing chunks occupy the whole set).
+        """
+        if not self.coherence.would_overflow_l1(self.proc, line, self.bdm.pinned):
+            return True
+        self._close_current("overflow")
+        self.stats.bump(f"proc{self.proc}.overflow_closes")
+        if not self._ensure_chunk():
+            self._block("slot")
+            return False
+        if self.coherence.would_overflow_l1(self.proc, line, self.bdm.pinned):
+            # Still pinned by committing chunks; wait for a commit.
+            self._block("slot")
+            return False
+        return True
+
+    def _resolve_value(self, word_addr: int):
+        """Read through local chunk buffers (forwarding) then memory."""
+        chunks = self.bdm.active_chunks()
+        for chunk in reversed(chunks):
+            if chunk.is_done:
+                continue
+            value = chunk.local_value(word_addr)
+            if value is not None:
+                return value, chunk
+        return self.memory.read(word_addr), None
+
+    def _is_static_private(self, word_addr: int) -> bool:
+        return (
+            self.private_mode is PrivateDataMode.STATIC
+            and self.address_space.is_statically_private(word_addr, self.proc)
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_load(self, op: Load) -> bool:
+        line = self.address_map.line_of(op.addr)
+        if not self._check_overflow(line):
+            return False
+        chunk = self._current
+        assert chunk is not None
+        if not self._is_static_private(op.addr):
+            chunk.r_sig.insert(line)
+            chunk.true_read_lines.add(line)
+        value, source = self._resolve_value(op.addr)
+        if source is not None and source is not chunk:
+            # Cross-chunk forwarding: the successor's R update must land
+            # before the predecessor may arbitrate (Section 4.1.2).
+            self.bdm.log_forward(line, chunk.chunk_id)
+        outcome = self.machine.bulk_fetch(self.proc, line, self.now, self.bdm.pinned)
+        self.window.retire_memory(outcome.latency, blocking=True, line_addr=line)
+        self.thread.write_register(op.reg, value)
+        chunk.note_load(op.addr, value, self.thread.pc)
+        chunk.instructions += 1
+        return True
+
+    def _execute_store(self, op: Store) -> bool:
+        line = self.address_map.line_of(op.addr)
+        if not self._check_overflow(line):
+            return False
+        chunk = self._current
+        assert chunk is not None
+        value = resolve_operand(op.value, self.thread.registers)
+        self._classify_store(chunk, op.addr, line)
+        outcome = self.machine.bulk_fetch(self.proc, line, self.now, self.bdm.pinned)
+        # Stores are wait-free: they retire from the ROB head even if the
+        # line has not arrived (Section 6).
+        self.window.retire_memory(outcome.latency, blocking=False, line_addr=line)
+        chunk.note_store(op.addr, value, self.thread.pc)
+        chunk.instructions += 1
+        return True
+
+    def _classify_store(self, chunk: Chunk, word_addr: int, line: int) -> None:
+        """Route a store's address into W or Wpriv (Section 5)."""
+        if self._is_static_private(word_addr):
+            chunk.wpriv_sig.insert(line)
+            chunk.true_private_lines.add(line)
+            return
+        l1_line = self.coherence.l1s[self.proc].probe(line)
+        dirty_nonspec = (
+            l1_line is not None and l1_line.dirty and not chunk.w_sig.member(line)
+        )
+        if self.private_mode is PrivateDataMode.DYNAMIC and dirty_nonspec:
+            if not chunk.wpriv_sig.member(line):
+                # First update in this chunk: park the pre-image.
+                pre_image = {
+                    w: self.memory.peek(w) for w in self.address_map.words_of_line(line)
+                }
+                evicted = self.bdm.private_buffer.insert(line, pre_image)
+                if evicted is not None:
+                    evicted_line, __ = evicted
+                    self.coherence.writeback_line(self.proc, evicted_line)
+                    chunk.w_sig.insert(evicted_line)
+                    chunk.true_written_lines.add(evicted_line)
+                    self.stats.bump(f"proc{self.proc}.private_buffer_overflows")
+                chunk.private_buffer_lines.add(line)
+            chunk.wpriv_sig.insert(line)
+            chunk.true_private_lines.add(line)
+            return
+        if dirty_nonspec:
+            # BSCbase: the committed version must reach memory before the
+            # line is speculatively overwritten (Section 5.2 prelude).
+            self.coherence.writeback_line(self.proc, line)
+            self.stats.bump(f"proc{self.proc}.first_write_writebacks")
+        chunk.w_sig.insert(line)
+        chunk.true_written_lines.add(line)
+
+    # ------------------------------------------------------------------
+    # Synchronization inside chunks (Section 3.3)
+    # ------------------------------------------------------------------
+    def _execute_acquire(self, op: LockAcquire) -> bool:
+        line = self.address_map.line_of(op.addr)
+        if not self._check_overflow(line):
+            return False
+        chunk = self._current
+        assert chunk is not None
+        chunk.r_sig.insert(line)
+        chunk.true_read_lines.add(line)
+        value, __ = self._resolve_value(op.addr)
+        outcome = self.machine.bulk_fetch(self.proc, line, self.now, self.bdm.pinned)
+        self.window.retire_memory(
+            outcome.latency, blocking=True, instructions=2, line_addr=line
+        )
+        if value != 0:
+            # Lock observed held.  The release (a remote chunk's commit to
+            # this line, which is in our R signature) will squash and
+            # replay us — the BulkSC spin mechanism.
+            self.stats.bump(f"proc{self.proc}.lock_spin_blocks")
+            return self._block("spin")
+        self._classify_store(chunk, op.addr, line)
+        chunk.note_load(op.addr, 0, self.thread.pc)
+        chunk.note_store(op.addr, 1, self.thread.pc)
+        chunk.instructions += 2
+        return True
+
+    def _execute_release(self, op: LockRelease) -> bool:
+        line = self.address_map.line_of(op.addr)
+        if not self._check_overflow(line):
+            return False
+        chunk = self._current
+        assert chunk is not None
+        self._classify_store(chunk, op.addr, line)
+        outcome = self.machine.bulk_fetch(self.proc, line, self.now, self.bdm.pinned)
+        self.window.retire_memory(outcome.latency, blocking=False, line_addr=line)
+        chunk.note_store(op.addr, 0, self.thread.pc)
+        chunk.instructions += 1
+        return True
+
+    def _execute_spin(self, op: SpinUntil) -> bool:
+        line = self.address_map.line_of(op.addr)
+        if not self._check_overflow(line):
+            return False
+        chunk = self._current
+        assert chunk is not None
+        chunk.r_sig.insert(line)
+        chunk.true_read_lines.add(line)
+        value, __ = self._resolve_value(op.addr)
+        outcome = self.machine.bulk_fetch(self.proc, line, self.now, self.bdm.pinned)
+        self.window.retire_memory(outcome.latency, blocking=True, line_addr=line)
+        if value != op.value:
+            # Wait for the writer's commit to squash us (flag is in R).
+            self.stats.bump(f"proc{self.proc}.flag_spin_blocks")
+            return self._block("spin")
+        chunk.note_load(op.addr, value, self.thread.pc)
+        chunk.instructions += 1
+        return True
+
+    def _execute_io(self, op: Io) -> bool:
+        """I/O cannot be speculative (Section 4.1.3).
+
+        The processor stalls until every in-flight chunk has committed
+        (so nothing performed can ever be rolled back), performs the
+        operation non-speculatively, and only then starts a new chunk.
+        """
+        self._pending_io = op
+        self._close_current("io")
+        pending = [c for c in self.bdm.active_chunks() if not c.is_done]
+        if pending:
+            self._io_after_chunk = max(pending, key=lambda c: c.chunk_id)
+            return self._block("io-gate")
+        self._perform_pending_io()
+        return True
+
+    def _perform_pending_io(self) -> None:
+        op = self._pending_io
+        if op is None:
+            raise SimulationError(f"proc {self.proc}: I/O completion without op")
+        self._pending_io = None
+        value = resolve_operand(op.value, self.thread.registers)
+        self.window.stall_until(max(self.window.now, self.sim.now) + Io.LATENCY)
+        self.machine.perform_io(self.window.now, self.proc, op.device, value)
+        self.stats.bump(f"proc{self.proc}.io_ops")
+
+    def _execute_barrier(self, op: Barrier) -> bool:
+        """Close the chunk, drain all commits, then arrive.
+
+        Arrival must wait until *every* in-flight chunk has committed:
+        an uncommitted chunk could still be squashed, which would replay
+        the barrier op and arrive twice.  Chunks commit in order, so
+        gating on the youngest pending chunk suffices.
+        """
+        self._pending_barrier = op
+        self._close_current("barrier")
+        pending = [c for c in self.bdm.active_chunks() if not c.is_done]
+        if pending:
+            self._barrier_after_chunk = max(pending, key=lambda c: c.chunk_id)
+            return self._block("barrier-gate")  # arrive when it commits
+        self._arrive_barrier()
+        return self._block("barrier-release")
+
+    def _arrive_barrier(self) -> None:
+        op = self._pending_barrier
+        if op is None:
+            raise SimulationError(f"proc {self.proc}: barrier arrival without op")
+        self._pending_barrier = None
+        self._block_reason = "barrier-release"
+        self.stats.bump(f"proc{self.proc}.barrier_arrivals")
+        self.sync.arrive_barrier(
+            op.barrier_id, op.participants, self.proc, self._barrier_released
+        )
+
+    def _barrier_released(self) -> None:
+        self.wake_advance(self.sim.now)
+
+    # ==================================================================
+    # Program end: drain in-flight chunks
+    # ==================================================================
+    def on_program_end(self) -> bool:
+        self._close_current("end")
+        if self._active_count() == 0:
+            return True
+        self._draining_for_finish = True
+        self._block_reason = "finish"
+        return False

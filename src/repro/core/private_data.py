@@ -1,0 +1,88 @@
+"""Private-data support (paper Section 5).
+
+Writes to private data need no consistency enforcement, so BulkSC diverts
+them from W into a per-chunk ``Wpriv`` signature that is used neither for
+disambiguation nor for arbitration.  Two schemes share the machinery:
+
+* **Statically private** (5.1): software marks regions (we use per-thread
+  stacks); the check happens at address-translation time via
+  :class:`~repro.memory.address.AddressSpace`.
+* **Dynamically private** (5.2): a write to a line that is *dirty
+  non-speculative* in the local cache skips both the writeback and W; the
+  pre-image is parked in the :class:`PrivateBuffer` in case the chunk
+  squashes or another processor asks for the line.
+
+The Private Buffer here tracks pre-image *line addresses with their word
+values* — the value image is what a squash must restore and what an
+external request must be served from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+
+class PrivateBuffer:
+    """A small FIFO buffer of pre-update line images (~24 lines).
+
+    Overflow evicts the oldest entry; the paper's protocol then writes the
+    line back and adds its address to W — the caller handles that via the
+    value returned from :meth:`insert`.
+    """
+
+    def __init__(self, capacity: int = 24):
+        if capacity < 1:
+            raise ValueError("private buffer capacity must be positive")
+        self.capacity = capacity
+        # line_addr -> {word_addr: pre-image value}
+        self._lines: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self.inserts = 0
+        self.overflows = 0
+        self.external_supplies = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._lines
+
+    def insert(
+        self, line_addr: int, pre_image: Dict[int, int]
+    ) -> Optional[Tuple[int, Dict[int, int]]]:
+        """Park a line's pre-image; returns an evicted (line, image) or None.
+
+        Inserting a line already present is a no-op (only the *first*
+        update in a chunk saves the pre-image).
+        """
+        if line_addr in self._lines:
+            return None
+        evicted = None
+        if len(self._lines) >= self.capacity:
+            self.overflows += 1
+            evicted = self._lines.popitem(last=False)
+        self._lines[line_addr] = dict(pre_image)
+        self.inserts += 1
+        if len(self._lines) > self.peak_occupancy:
+            self.peak_occupancy = len(self._lines)
+        return evicted
+
+    def supply(self, line_addr: int) -> Optional[Dict[int, int]]:
+        """Serve an external request: return and remove the pre-image."""
+        image = self._lines.pop(line_addr, None)
+        if image is not None:
+            self.external_supplies += 1
+        return image
+
+    def drop(self, line_addr: int) -> None:
+        self._lines.pop(line_addr, None)
+
+    def drain(self) -> List[Tuple[int, Dict[int, int]]]:
+        """Remove and return everything (squash restore / commit clear)."""
+        items = list(self._lines.items())
+        self._lines.clear()
+        return items
+
+    def clear(self) -> None:
+        self._lines.clear()

@@ -1,0 +1,58 @@
+"""Processor-side substrate.
+
+* :mod:`repro.cpu.isa` — the micro-op vocabulary thread programs are
+  written in (loads, stores, compute bursts, locks, barriers, fences).
+* :mod:`repro.cpu.thread` — architectural thread state: program, program
+  counter, registers.
+* :mod:`repro.cpu.checkpoint` — register/PC checkpoints used by BulkSC
+  chunk rollback (and by SC++ conceptually).
+* :mod:`repro.cpu.window` — the retirement-window timing model shared by
+  every consistency model: decode-ahead fetch, in-order retirement, MSHR
+  limited memory-level parallelism.
+* :mod:`repro.cpu.sync` — cross-processor synchronization plumbing
+  (barrier arrival counts, spin wake-ups).
+* :mod:`repro.cpu.driver` — the abstract per-processor driver that each
+  consistency model implements.
+"""
+
+from repro.cpu.checkpoint import Checkpoint
+from repro.cpu.driver import DriverState, ProcessorDriver
+from repro.cpu.isa import (
+    Barrier,
+    Compute,
+    Fence,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Op,
+    OpKind,
+    Reg,
+    RegPlus,
+    SpinUntil,
+    Store,
+)
+from repro.cpu.sync import SyncManager
+from repro.cpu.thread import ThreadContext, ThreadProgram
+from repro.cpu.window import RetirementWindow
+
+__all__ = [
+    "Op",
+    "OpKind",
+    "Load",
+    "Store",
+    "Compute",
+    "LockAcquire",
+    "LockRelease",
+    "Barrier",
+    "Fence",
+    "SpinUntil",
+    "Reg",
+    "RegPlus",
+    "ThreadProgram",
+    "ThreadContext",
+    "Checkpoint",
+    "RetirementWindow",
+    "SyncManager",
+    "ProcessorDriver",
+    "DriverState",
+]

@@ -1,0 +1,44 @@
+"""Register/PC checkpoints (paper: "checkpointed processors").
+
+BulkSC creates a checkpoint at every chunk boundary; squashing a chunk
+restores the checkpoint and discards all speculative state the chunk
+produced.  A checkpoint is cheap — registers and PC only — because
+speculative memory state lives in the chunk's write buffer and is simply
+dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cpu.thread import ThreadContext
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An immutable snapshot of architectural thread state."""
+
+    proc: int
+    pc: int
+    registers: Dict[str, int]
+    retired_instructions: int
+
+    @classmethod
+    def take(cls, thread: ThreadContext) -> "Checkpoint":
+        return cls(
+            proc=thread.proc,
+            pc=thread.pc,
+            registers=dict(thread.registers),
+            retired_instructions=thread.retired_instructions,
+        )
+
+    def restore(self, thread: ThreadContext) -> None:
+        if thread.proc != self.proc:
+            raise ValueError(
+                f"checkpoint for proc {self.proc} restored on proc {thread.proc}"
+            )
+        thread.pc = self.pc
+        thread.registers = dict(self.registers)
+        thread.retired_instructions = self.retired_instructions
+        thread.finished = thread.pc >= len(thread.program)

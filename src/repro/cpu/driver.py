@@ -1,0 +1,154 @@
+"""The abstract per-processor driver.
+
+A driver walks one thread's program, asking its consistency model (the
+concrete subclass) to execute each op.  The driver owns the event-loop
+mechanics — batching, blocking, wake-ups — so the model subclasses only
+implement op semantics.
+
+Execution is batched: one simulator event executes ops until the
+retirement cursor has advanced by ``batch_cycles`` (or the driver blocks
+or finishes).  Batching keeps the Python event count tractable while
+preserving cycle-approximate interleaving: cross-processor interactions
+(commits, invalidations, squashes) are separate events that interleave
+between batches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.cpu.isa import Op
+from repro.cpu.thread import ThreadContext
+from repro.cpu.window import RetirementWindow
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import Machine
+
+
+class DriverState(Enum):
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+class ProcessorDriver(ABC):
+    """Walks one thread's program under a consistency model."""
+
+    #: Cursor advance per event before yielding to the event loop.
+    batch_cycles: float = 40.0
+
+    def __init__(self, proc: int, thread: ThreadContext, machine: "Machine"):
+        self.proc = proc
+        self.thread = thread
+        self.machine = machine
+        self.sim = machine.sim
+        self.window = RetirementWindow(
+            machine.config.processor, machine.coherence.l1_mshrs[proc]
+        )
+        self.window.set_l1_round_trip(machine.config.memory.l1.round_trip_cycles)
+        self.state = DriverState.RUNNING
+        self.finish_time: Optional[float] = None
+        self._step_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Event-loop mechanics
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first execution batch."""
+        self._schedule_step(0.0)
+
+    def _schedule_step(self, at_time: float) -> None:
+        if self._step_scheduled:
+            return
+        self._step_scheduled = True
+        when = max(at_time, self.sim.now)
+        self.sim.at(when, self._step, label=f"proc{self.proc}.step")
+
+    def _step(self) -> None:
+        self._step_scheduled = False
+        if self.state is not DriverState.RUNNING:
+            return
+        batch_end = self.window.now + self.batch_cycles
+        while self.state is DriverState.RUNNING:
+            op = self.thread.current_op()
+            if op is None:
+                self._finish()
+                return
+            proceed = self.execute_op(op)
+            if not proceed:
+                # The model blocked on this op; it will call
+                # :meth:`wake_retry` or :meth:`wake_advance` later.
+                self.state = DriverState.BLOCKED
+                return
+            self.thread.advance()
+            if self.window.now >= batch_end:
+                break
+        if self.state is DriverState.RUNNING:
+            self._schedule_step(self.window.now)
+
+    def _finish(self) -> None:
+        if self.state is DriverState.FINISHED:
+            return
+        if not self.on_program_end():
+            # The model still has in-flight state to drain (e.g. BulkSC's
+            # final chunk commit); it calls complete_finish() when done.
+            self.state = DriverState.BLOCKED
+            return
+        self.complete_finish()
+
+    def complete_finish(self) -> None:
+        """Mark the driver finished; called once all model state drained."""
+        if self.state is DriverState.FINISHED:
+            return
+        self.state = DriverState.FINISHED
+        self.finish_time = max(self.window.now, self.sim.now)
+        self.machine.driver_finished(self)
+
+    # ------------------------------------------------------------------
+    # Wake-ups (called by models / sync callbacks)
+    # ------------------------------------------------------------------
+    def wake_retry(self, resume_time: Optional[float] = None) -> None:
+        """Unblock and *re-execute* the current op (spin retries)."""
+        if self.state is DriverState.FINISHED:
+            raise SimulationError(f"proc {self.proc}: wake after finish")
+        self.state = DriverState.RUNNING
+        when = resume_time if resume_time is not None else self.sim.now
+        self.window.stall_until(when)
+        self._schedule_step(when)
+
+    def wake_advance(self, resume_time: Optional[float] = None) -> None:
+        """Unblock, consume the current op, and continue (barrier release)."""
+        if self.state is DriverState.FINISHED:
+            raise SimulationError(f"proc {self.proc}: wake after finish")
+        self.thread.advance()
+        self.state = DriverState.RUNNING
+        when = resume_time if resume_time is not None else self.sim.now
+        self.window.stall_until(when)
+        self._schedule_step(when)
+
+    # ------------------------------------------------------------------
+    # Model interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def execute_op(self, op: Op) -> bool:
+        """Execute one op at the current retirement cursor.
+
+        Returns True to consume the op and continue, False to block on it
+        (the model must arrange a later wake-up).
+        """
+
+    def on_program_end(self) -> bool:
+        """Hook: flush model state (store buffers, final chunk commit).
+
+        Returns True when the driver may finish immediately; False when a
+        drain is in flight and the model will call :meth:`complete_finish`.
+        """
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.window.now

@@ -1,0 +1,29 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately generic: it knows nothing about processors,
+caches, or consistency models.  It provides
+
+* :class:`~repro.engine.event.Event` and the priority queue that orders them,
+* :class:`~repro.engine.simulator.Simulator` — the clock and run loop,
+* :class:`~repro.engine.stats.StatsRegistry` — hierarchical counters and
+  distributions used by every subsystem for the paper's characterization
+  tables, and
+* :class:`~repro.engine.rng.DeterministicRng` — a seeded random source so
+  every experiment is exactly reproducible.
+"""
+
+from repro.engine.event import Event, EventQueue
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.engine.stats import Counter, Distribution, StatsRegistry, TimeWeightedStat
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "StatsRegistry",
+    "Counter",
+    "Distribution",
+    "TimeWeightedStat",
+    "DeterministicRng",
+]

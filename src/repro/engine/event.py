@@ -1,0 +1,116 @@
+"""Events and the event queue.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+makes ordering total and deterministic: two events scheduled for the same
+cycle with the same priority fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A callback scheduled to fire at a simulated time.
+
+    Attributes:
+        time: Cycle at which the event fires.
+        priority: Tie-breaker; lower fires first within a cycle.
+        seq: Monotonic sequence number assigned by the queue.
+        action: Zero-argument callable run when the event fires.
+        label: Human-readable tag, used in traces and error messages.
+    """
+
+    __slots__ = ("time", "priority", "seq", "action", "label", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = -1  # assigned on push
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.  Calling
+        ``cancel`` more than once is harmless.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancel()
+
+    def sort_key(self):
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} p={self.priority} {self.label!r}{state}>"
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event`` and return it (so callers can keep a handle)."""
+        if event.cancelled:
+            raise ValueError("cannot schedule a cancelled event")
+        event.seq = next(self._counter)
+        event._queue = self
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            event._queue = None
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the fire time of the earliest live event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,114 @@
+"""The simulation kernel: a clock plus an event run loop.
+
+Subsystems register work by scheduling events; the simulator advances the
+clock to each event in deterministic order.  The kernel also owns the
+:class:`~repro.engine.stats.StatsRegistry` so every component hangs its
+counters off one tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.event import Event, EventQueue
+from repro.engine.rng import DeterministicRng
+from repro.engine.stats import StatsRegistry
+from repro.errors import SimulationError
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Attributes:
+        now: Current simulated cycle.
+        stats: Root statistics registry shared by all components.
+        rng: Deterministic random source for the whole simulation.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.stats = StatsRegistry("sim")
+        self.rng = DeterministicRng(seed)
+        self._events_fired = 0
+        self._stop_requested = False
+        self._end_hooks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at an absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before now={self.now}"
+            )
+        return self.queue.push(Event(time, action, priority, label))
+
+    def after(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.at(self.now + delay, action, priority, label)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the run loop to halt after the current event."""
+        self._stop_requested = True
+
+    def add_end_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback invoked once when :meth:`run` finishes."""
+        self._end_hooks.append(hook)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains, ``until`` is reached, or stop().
+
+        Args:
+            until: Optional cycle bound (inclusive); events after it stay
+                queued.
+            max_events: Safety valve against runaway simulations.
+
+        Returns:
+            The final simulated time.
+        """
+        self._stop_requested = False
+        while self.queue:
+            if self._stop_requested:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.now = event.time
+            self._events_fired += 1
+            if self._events_fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self.now}; "
+                    "likely livelock"
+                )
+            event.action()
+        for hook in self._end_hooks:
+            hook()
+        return self.now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired

@@ -1,0 +1,162 @@
+"""Hierarchical simulation statistics.
+
+Every subsystem (caches, arbiter, directory, processors, network) records
+into a shared :class:`StatsRegistry`.  The registry supports three kinds of
+statistics, matching what the paper's characterization tables need:
+
+* :class:`Counter` — monotonically increasing event counts (commits,
+  squashes, lookups, bytes, ...).
+* :class:`Distribution` — samples with mean/max (set sizes, chunk lengths).
+* :class:`TimeWeightedStat` — a value integrated over time (arbiter W-list
+  occupancy, "% of time non-empty").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Distribution:
+    """Streaming mean/max/min over samples (no sample storage)."""
+
+    __slots__ = ("name", "count", "total", "max", "min")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max = float("-inf")
+        self.min = float("inf")
+
+    def sample(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Distribution({self.name} n={self.count} mean={self.mean:.3f})"
+
+
+class TimeWeightedStat:
+    """A piecewise-constant value integrated over simulated time.
+
+    Used for occupancies: set the value whenever it changes, passing the
+    current cycle; the stat accumulates ``value * dt`` so that
+    :meth:`average` over ``[0, end]`` is the time-weighted mean and
+    :meth:`fraction_nonzero` is the share of time the value was non-zero.
+    """
+
+    __slots__ = ("name", "_value", "_last_time", "_area", "_nonzero_time")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._last_time = 0.0
+        self._area = 0.0
+        self._nonzero_time = 0.0
+
+    def set(self, value: float, now: float) -> None:
+        self._accumulate(now)
+        self._value = value
+
+    def adjust(self, delta: float, now: float) -> None:
+        self.set(self._value + delta, now)
+
+    def _accumulate(self, now: float) -> None:
+        dt = now - self._last_time
+        if dt > 0:
+            self._area += self._value * dt
+            if self._value != 0:
+                self._nonzero_time += dt
+            self._last_time = now
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    def average(self, end_time: float) -> float:
+        self._accumulate(end_time)
+        return self._area / end_time if end_time > 0 else 0.0
+
+    def fraction_nonzero(self, end_time: float) -> float:
+        self._accumulate(end_time)
+        return self._nonzero_time / end_time if end_time > 0 else 0.0
+
+
+class StatsRegistry:
+    """A flat namespace of named statistics with lazy creation.
+
+    Names are dotted paths (``"arbiter.commits"``, ``"proc3.squashes"``);
+    subsystems fetch-or-create with :meth:`counter`, :meth:`distribution`,
+    and :meth:`time_weighted`.
+    """
+
+    def __init__(self, name: str = "stats"):
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._distributions: Dict[str, Distribution] = {}
+        self._time_weighted: Dict[str, TimeWeightedStat] = {}
+
+    def counter(self, name: str) -> Counter:
+        stat = self._counters.get(name)
+        if stat is None:
+            stat = self._counters[name] = Counter(name)
+        return stat
+
+    def distribution(self, name: str) -> Distribution:
+        stat = self._distributions.get(name)
+        if stat is None:
+            stat = self._distributions[name] = Distribution(name)
+        return stat
+
+    def time_weighted(self, name: str) -> TimeWeightedStat:
+        stat = self._time_weighted.get(name)
+        if stat is None:
+            stat = self._time_weighted[name] = TimeWeightedStat(name)
+        return stat
+
+    # Convenience shortcuts ------------------------------------------------
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        stat = self._counters.get(name)
+        return stat.value if stat is not None else default
+
+    def counters(self) -> Iterator[Tuple[str, float]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every counter (and distribution means) into one dict."""
+        out: Dict[str, float] = {}
+        for name, value in self.counters():
+            out[name] = value
+        for name in sorted(self._distributions):
+            dist = self._distributions[name]
+            out[f"{name}.mean"] = dist.mean
+            out[f"{name}.count"] = float(dist.count)
+        return out

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the BulkSC reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processors still had work to do."""
+
+
+class ProtocolError(SimulationError):
+    """A coherence or commit-protocol invariant was violated."""
+
+
+class ProgramError(ReproError):
+    """A thread program is malformed (bad operands, unknown ops, ...)."""
+
+
+class ConsistencyViolation(ReproError):
+    """An execution history failed a sequential-consistency check.
+
+    Raised by :mod:`repro.verify` when asked to *assert* SC rather than
+    merely report.  Carries the offending explanation for debugging.
+    """
+
+    def __init__(self, message: str, witness: object = None):
+        super().__init__(message)
+        self.witness = witness

@@ -1,0 +1,34 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+* :mod:`repro.harness.runner` — sweeps (configuration x application)
+  grids with memoization.
+* :mod:`repro.harness.metrics` — turns :class:`~repro.system.RunResult`
+  into the rows the paper reports (speedups, squash rates, set sizes,
+  arbiter occupancies, traffic breakdowns).
+* :mod:`repro.harness.tables` / :mod:`repro.harness.figures` — render
+  Table 3, Table 4, Figure 9, Figure 10, and Figure 11 as text.
+* :mod:`repro.harness.experiments` — the experiment registry mapping each
+  paper artifact to the code that regenerates it.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, Experiment
+from repro.harness.metrics import (
+    CharacterizationRow,
+    CommitRow,
+    speedup_over,
+    traffic_breakdown_normalized,
+)
+from repro.harness.runner import ALL_APPS, COMMERCIAL_APPS, SPLASH2_APPS, SweepRunner
+
+__all__ = [
+    "SweepRunner",
+    "SPLASH2_APPS",
+    "COMMERCIAL_APPS",
+    "ALL_APPS",
+    "speedup_over",
+    "traffic_breakdown_normalized",
+    "CharacterizationRow",
+    "CommitRow",
+    "Experiment",
+    "EXPERIMENTS",
+]

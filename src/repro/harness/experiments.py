@@ -1,0 +1,297 @@
+"""The experiment registry: every paper artifact -> regenerating code.
+
+Each function returns both the structured data and a rendered text
+report; the benchmark suite calls them, and ``examples/reproduce_paper.py``
+uses them to regenerate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.harness.figures import (
+    render_grouped_bars,
+    render_stacked_traffic,
+    series_geometric_means,
+)
+from repro.harness.metrics import (
+    CharacterizationRow,
+    CommitRow,
+    speedup_over,
+    squashed_instruction_pct,
+    total_traffic,
+    traffic_breakdown_normalized,
+)
+from repro.harness.runner import (
+    ALL_APPS,
+    FIGURE9_CONFIGS,
+    SPLASH2_APPS,
+    SweepRunner,
+)
+from repro.harness.tables import render_table3, render_table4
+from repro.params import SystemConfig
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: performance of all configurations, normalized to RC
+# ---------------------------------------------------------------------------
+
+def figure9(
+    runner: SweepRunner, apps: Sequence[str] = ALL_APPS
+) -> Tuple[Dict[str, Dict[str, float]], str]:
+    """Speedup over RC for SC, RC, SC++, BSCbase, BSCdypvt, BSCexact, BSCstpvt.
+
+    Expected shape (paper): BSCdypvt ≈ RC ≈ SC++; SC clearly slower;
+    BSCbase a few percent below BSCdypvt; BSCexact ≈ BSCdypvt; radix is
+    the aliasing outlier.
+    """
+    series: Dict[str, Dict[str, float]] = {name: {} for name in FIGURE9_CONFIGS}
+    for app in apps:
+        rc = runner.result("RC", app)
+        for name in FIGURE9_CONFIGS:
+            series[name][app] = speedup_over(rc, runner.result(name, app))
+    report = render_grouped_bars(
+        "Figure 9: speedup over RC", series, list(apps)
+    )
+    return series, report
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: BSCdypvt with different chunk sizes
+# ---------------------------------------------------------------------------
+
+def figure10(
+    instructions: int = 20_000,
+    seed: int = 0,
+    apps: Sequence[str] = ALL_APPS,
+    chunk_sizes: Sequence[int] = (1000, 2000, 4000),
+) -> Tuple[Dict[str, Dict[str, float]], str]:
+    """BSCdypvt at chunk sizes 1000/2000/4000 plus 4000-exact.
+
+    Expected shape: mild degradation as chunks grow, mostly recovered by
+    the exact signature (the loss is aliasing, not real sharing).
+    """
+    def chunk_override(size: int) -> Callable[[SystemConfig], SystemConfig]:
+        return lambda cfg: cfg.with_bulksc(chunk_size_instructions=size)
+
+    series: Dict[str, Dict[str, float]] = {}
+    base_runner = SweepRunner(instructions, seed)
+    for app in apps:
+        base_runner.result("RC", app)
+    for size in chunk_sizes:
+        runner = SweepRunner(
+            instructions,
+            seed,
+            config_overrides={"BSCdypvt": chunk_override(size)},
+        )
+        label = str(size)
+        series[label] = {}
+        for app in apps:
+            rc = base_runner.result("RC", app)
+            series[label][app] = speedup_over(rc, runner.result("BSCdypvt", app))
+    exact_runner = SweepRunner(
+        instructions,
+        seed,
+        config_overrides={"BSCexact": chunk_override(max(chunk_sizes))},
+    )
+    label = f"{max(chunk_sizes)}-exact"
+    series[label] = {}
+    for app in apps:
+        rc = base_runner.result("RC", app)
+        series[label][app] = speedup_over(rc, exact_runner.result("BSCexact", app))
+    report = render_grouped_bars(
+        "Figure 10: BSCdypvt chunk-size sensitivity (speedup over RC)",
+        series,
+        list(apps),
+    )
+    return series, report
+
+
+# ---------------------------------------------------------------------------
+# Table 3: characterization of BulkSC
+# ---------------------------------------------------------------------------
+
+def table3(
+    runner: SweepRunner, apps: Sequence[str] = ALL_APPS
+) -> Tuple[Dict[str, Dict[str, float]], str]:
+    """Table 3 rows for BSCdypvt, plus squashed% for BSCexact/BSCbase."""
+    rows: List[CharacterizationRow] = []
+    squash_columns: Dict[str, Dict[str, float]] = {
+        "BSCexact": {},
+        "BSCdypvt": {},
+        "BSCbase": {},
+    }
+    for app in apps:
+        dypvt = runner.result("BSCdypvt", app)
+        rows.append(CharacterizationRow.from_result(app, dypvt))
+        for name in squash_columns:
+            squash_columns[name][app] = squashed_instruction_pct(
+                runner.result(name, app)
+            )
+    report_lines = [render_table3(rows), "", "# Squashed instructions (%)"]
+    header = ["app", "BSCexact", "BSCdypvt", "BSCbase"]
+    report_lines.append("  ".join(h.rjust(9) for h in header))
+    for app in apps:
+        cells = [app.rjust(9)] + [
+            f"{squash_columns[name][app]:.2f}".rjust(9)
+            for name in ("BSCexact", "BSCdypvt", "BSCbase")
+        ]
+        report_lines.append("  ".join(cells))
+    data = {
+        "squash_exact": squash_columns["BSCexact"],
+        "squash_dypvt": squash_columns["BSCdypvt"],
+        "squash_base": squash_columns["BSCbase"],
+        "read_set": {r.app: r.read_set for r in rows},
+        "write_set": {r.app: r.write_set for r in rows},
+        "priv_write_set": {r.app: r.priv_write_set for r in rows},
+        "priv_buffer_per_1k": {r.app: r.data_from_priv_buffer_per_1k for r in rows},
+        "extra_invs_per_1k": {r.app: r.extra_cache_invs_per_1k for r in rows},
+        "spec_read_disp_per_100k": {
+            r.app: r.spec_read_displacements_per_100k for r in rows
+        },
+        "spec_write_disp_per_100k": {
+            r.app: r.spec_write_displacements_per_100k for r in rows
+        },
+    }
+    return data, "\n".join(report_lines)
+
+
+# ---------------------------------------------------------------------------
+# Table 4: commit process and coherence operations
+# ---------------------------------------------------------------------------
+
+def table4(
+    runner: SweepRunner, apps: Sequence[str] = ALL_APPS
+) -> Tuple[Dict[str, Dict[str, float]], str]:
+    """Table 4 rows for BSCdypvt."""
+    rows = [
+        CommitRow.from_result(app, runner.result("BSCdypvt", app)) for app in apps
+    ]
+    data = {
+        "lookups_per_commit": {r.app: r.lookups_per_commit for r in rows},
+        "unnecessary_lookups_pct": {r.app: r.unnecessary_lookups_pct for r in rows},
+        "unnecessary_updates_pct": {r.app: r.unnecessary_updates_pct for r in rows},
+        "nodes_per_w_sig": {r.app: r.nodes_per_w_sig for r in rows},
+        "pending_w_sigs": {r.app: r.pending_w_sigs for r in rows},
+        "nonempty_w_list_pct": {r.app: r.nonempty_w_list_pct for r in rows},
+        "r_sig_required_pct": {r.app: r.r_sig_required_pct for r in rows},
+        "empty_w_sig_pct": {r.app: r.empty_w_sig_pct for r in rows},
+    }
+    return data, render_table4(rows)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: network traffic normalized to RC
+# ---------------------------------------------------------------------------
+
+def figure11(
+    instructions: int = 20_000,
+    seed: int = 0,
+    apps: Sequence[str] = ALL_APPS,
+) -> Tuple[Dict[str, Dict[str, Dict[str, float]]], str]:
+    """Traffic breakdown for R (RC), E (BSCexact), N (BSCdypvt without the
+    RSig optimization), and B (BSCdypvt), normalized to RC's total bytes.
+
+    Expected shape: B within ~5-15% of R on average, RdSig nearly absent
+    from B (the RSig optimization), and N showing the RdSig traffic that
+    optimization removes.
+    """
+    runner = SweepRunner(instructions, seed)
+    no_rsig_runner = SweepRunner(
+        instructions,
+        seed,
+        config_overrides={
+            "BSCdypvt": lambda cfg: cfg.with_bulksc(rsig_optimization=False)
+        },
+    )
+    breakdowns: Dict[str, Dict[str, Dict[str, float]]] = {
+        "R": {},
+        "E": {},
+        "N": {},
+        "B": {},
+    }
+    for app in apps:
+        rc = runner.result("RC", app)
+        rc_total = total_traffic(rc)
+        breakdowns["R"][app] = traffic_breakdown_normalized(rc, rc_total)
+        breakdowns["E"][app] = traffic_breakdown_normalized(
+            runner.result("BSCexact", app), rc_total
+        )
+        breakdowns["N"][app] = traffic_breakdown_normalized(
+            no_rsig_runner.result("BSCdypvt", app), rc_total
+        )
+        breakdowns["B"][app] = traffic_breakdown_normalized(
+            runner.result("BSCdypvt", app), rc_total
+        )
+    report = render_stacked_traffic(
+        "Figure 11: traffic normalized to RC (R=RC, E=BSCexact, "
+        "N=BSCdypvt w/o RSig, B=BSCdypvt)",
+        breakdowns,
+        list(apps),
+    )
+    return breakdowns, report
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper artifact and the code that regenerates it."""
+
+    key: str
+    paper_artifact: str
+    description: str
+    bench_target: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "figure9": Experiment(
+        key="figure9",
+        paper_artifact="Figure 9",
+        description="Performance of SC, RC, SC++, and four BulkSC "
+        "configurations, normalized to RC, over 11 SPLASH-2 apps and two "
+        "commercial workloads.",
+        bench_target="benchmarks/bench_fig9_performance.py",
+    ),
+    "figure10": Experiment(
+        key="figure10",
+        paper_artifact="Figure 10",
+        description="BSCdypvt with 1000/2000/4000-instruction chunks plus "
+        "a 4000-instruction exact-signature run.",
+        bench_target="benchmarks/bench_fig10_chunk_size.py",
+    ),
+    "figure11": Experiment(
+        key="figure11",
+        paper_artifact="Figure 11",
+        description="Interconnect traffic (Rd/Wr, RdSig, WrSig, Inv, "
+        "Other) normalized to RC for RC, BSCexact, BSCdypvt without RSig, "
+        "and BSCdypvt.",
+        bench_target="benchmarks/bench_fig11_traffic.py",
+    ),
+    "table3": Experiment(
+        key="table3",
+        paper_artifact="Table 3",
+        description="BulkSC characterization: squashed instructions, "
+        "R/W/Wpriv set sizes, speculative displacements, Private Buffer "
+        "supplies, extra cache invalidations.",
+        bench_target="benchmarks/bench_table3_characterization.py",
+    ),
+    "table4": Experiment(
+        key="table4",
+        paper_artifact="Table 4",
+        description="Commit/coherence operations: signature-expansion "
+        "lookups, unnecessary lookups/updates, nodes per W signature, "
+        "arbiter occupancy, RSig effectiveness, empty-W commits.",
+        bench_target="benchmarks/bench_table4_commit.py",
+    ),
+    "ablations": Experiment(
+        key="ablations",
+        paper_artifact="Design-choice ablations (DESIGN.md)",
+        description="Central vs distributed arbiter, RSig on/off, "
+        "signature size sweep, Private Buffer capacity sweep.",
+        bench_target="benchmarks/bench_ablations.py",
+    ),
+}

@@ -1,0 +1,72 @@
+"""Figure data series and ASCII rendering (Figures 9, 10, 11)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.harness.metrics import geometric_mean
+
+
+def render_grouped_bars(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    apps: Sequence[str],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render ``{config: {app: value}}`` as a text table plus mean column.
+
+    The paper plots grouped bars; a table carries the same information
+    (who wins, by what factor) in a terminal.
+    """
+    configs = list(series.keys())
+    headers = ["app"] + configs
+    lines = ["# " + title, "  ".join(h.rjust(9) for h in headers)]
+    for app in apps:
+        cells = [app.rjust(9)]
+        for config in configs:
+            value = series[config].get(app, float("nan"))
+            cells.append(value_format.format(value).rjust(9))
+        lines.append("  ".join(cells))
+    # Geometric-mean row (the paper's SP2-G.M.).
+    cells = ["G.M.".rjust(9)]
+    for config in configs:
+        values = [series[config][app] for app in apps if app in series[config]]
+        cells.append(value_format.format(geometric_mean(values)).rjust(9))
+    lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_stacked_traffic(
+    title: str,
+    breakdowns: Mapping[str, Mapping[str, Mapping[str, float]]],
+    apps: Sequence[str],
+) -> str:
+    """Render Figure 11-style data: {config: {app: {class: fraction}}}."""
+    lines = ["# " + title]
+    configs = list(breakdowns.keys())
+    classes = ["Rd/Wr", "RdSig", "WrSig", "Inv", "Other"]
+    header = ["app", "config"] + classes + ["total"]
+    lines.append("  ".join(h.rjust(8) for h in header))
+    for app in apps:
+        for config in configs:
+            breakdown = breakdowns[config].get(app)
+            if breakdown is None:
+                continue
+            total = sum(breakdown.get(c, 0.0) for c in classes)
+            cells = [app.rjust(8), config.rjust(8)]
+            cells += [f"{breakdown.get(c, 0.0):.3f}".rjust(8) for c in classes]
+            cells.append(f"{total:.3f}".rjust(8))
+            lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def series_geometric_means(
+    series: Mapping[str, Mapping[str, float]], apps: Sequence[str]
+) -> Dict[str, float]:
+    """Geometric mean per config over ``apps``."""
+    return {
+        config: geometric_mean(
+            [values[app] for app in apps if app in values]
+        )
+        for config, values in series.items()
+    }

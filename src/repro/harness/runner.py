@@ -1,0 +1,91 @@
+"""Sweep runner: (configuration, application) grids with memoization.
+
+One :class:`SweepRunner` caches every simulation it runs, so a benchmark
+that needs RC numbers for normalization shares them across figures
+instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.params import NAMED_CONFIGS, SystemConfig
+from repro.system import RunResult, run_workload
+from repro.workloads.commercial import COMMERCIAL_ORDER, commercial_workload
+from repro.workloads.splash2 import SPLASH2_ORDER, splash2_workload
+
+SPLASH2_APPS: Tuple[str, ...] = tuple(SPLASH2_ORDER)
+COMMERCIAL_APPS: Tuple[str, ...] = tuple(COMMERCIAL_ORDER)
+ALL_APPS: Tuple[str, ...] = SPLASH2_APPS + COMMERCIAL_APPS
+
+#: The configuration names of Table 2, in the paper's plotting order.
+FIGURE9_CONFIGS = ("SC", "RC", "SC++", "BSCbase", "BSCdypvt", "BSCexact", "BSCstpvt")
+
+
+def build_app_workload(app: str, config: SystemConfig, instructions: int, seed: int):
+    """Build the synthetic workload standing in for ``app``."""
+    if app in COMMERCIAL_APPS:
+        return commercial_workload(app, config, instructions, seed)
+    return splash2_workload(app, config, instructions, seed)
+
+
+class SweepRunner:
+    """Runs and caches simulations over a (config, app) grid."""
+
+    def __init__(
+        self,
+        instructions_per_thread: int = 20_000,
+        seed: int = 0,
+        record_history: bool = False,
+        config_overrides: Optional[Dict[str, Callable[[SystemConfig], SystemConfig]]] = None,
+    ):
+        self.instructions_per_thread = instructions_per_thread
+        self.seed = seed
+        self.record_history = record_history
+        self.config_overrides = config_overrides or {}
+        self._cache: Dict[Tuple[str, str], RunResult] = {}
+
+    def config_for(self, config_name: str) -> SystemConfig:
+        try:
+            config = NAMED_CONFIGS[config_name](seed=self.seed)
+        except KeyError:
+            raise KeyError(
+                f"unknown configuration {config_name!r}; "
+                f"choose from {sorted(NAMED_CONFIGS)}"
+            ) from None
+        override = self.config_overrides.get(config_name)
+        if override is not None:
+            config = override(config).validate()
+        return config
+
+    def result(self, config_name: str, app: str) -> RunResult:
+        """Run (or fetch) one simulation."""
+        key = (config_name, app)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        config = self.config_for(config_name)
+        workload = build_app_workload(
+            app, config, self.instructions_per_thread, self.seed
+        )
+        result = run_workload(
+            config,
+            workload.programs,
+            workload.address_space,
+            record_history=self.record_history,
+        )
+        self._cache[key] = result
+        return result
+
+    def sweep(
+        self, config_names: List[str], apps: List[str]
+    ) -> Dict[Tuple[str, str], RunResult]:
+        """Run the full grid; returns {(config, app): result}."""
+        out: Dict[Tuple[str, str], RunResult] = {}
+        for app in apps:
+            for name in config_names:
+                out[(name, app)] = self.result(name, app)
+        return out
+
+    def cached_count(self) -> int:
+        return len(self._cache)

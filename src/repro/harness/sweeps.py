@@ -1,0 +1,113 @@
+"""Generic parameter sweeps over BulkSC configurations.
+
+The ablation benchmarks and exploratory notebooks share one pattern:
+vary a single knob, re-run a set of applications, and extract a metric.
+:func:`sweep_parameter` packages it with memoized runners and structured
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.harness.runner import SweepRunner
+from repro.params import SystemConfig
+from repro.system import RunResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, application) observation."""
+
+    parameter: object
+    app: str
+    metric: float
+    cycles: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All observations of one parameter sweep."""
+
+    parameter_name: str
+    metric_name: str
+    points: List[SweepPoint]
+
+    def series_for(self, app: str) -> List[SweepPoint]:
+        return [p for p in self.points if p.app == app]
+
+    def values(self) -> List[object]:
+        seen: List[object] = []
+        for point in self.points:
+            if point.parameter not in seen:
+                seen.append(point.parameter)
+        return seen
+
+    def metric_table(self) -> Dict[object, Dict[str, float]]:
+        """{parameter value: {app: metric}}."""
+        table: Dict[object, Dict[str, float]] = {}
+        for point in self.points:
+            table.setdefault(point.parameter, {})[point.app] = point.metric
+        return table
+
+    def render(self) -> str:
+        apps = sorted({p.app for p in self.points})
+        header = [self.parameter_name] + apps
+        lines = ["  ".join(h.rjust(10) for h in header)]
+        table = self.metric_table()
+        for value in self.values():
+            cells = [str(value).rjust(10)]
+            for app in apps:
+                metric = table.get(value, {}).get(app)
+                cells.append(
+                    (f"{metric:.2f}" if metric is not None else "-").rjust(10)
+                )
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+def sweep_parameter(
+    parameter_name: str,
+    values: Sequence[object],
+    apply: Callable[[SystemConfig, object], SystemConfig],
+    metric: Callable[[RunResult], float],
+    apps: Sequence[str],
+    config_name: str = "BSCdypvt",
+    instructions: int = 8000,
+    seed: int = 0,
+    metric_name: str = "metric",
+) -> SweepResult:
+    """Run ``config_name`` over ``apps`` for each parameter value.
+
+    Args:
+        parameter_name: Label for reports.
+        values: The knob settings to sweep.
+        apply: ``(base_config, value) -> config`` transformation.
+        metric: Extracts the observed number from a run.
+        apps: Applications to run at every point.
+        config_name: Which Table 2 configuration to start from.
+        instructions: Per-thread dynamic instruction budget.
+        seed: Workload seed (shared across points so programs match).
+        metric_name: Label for the metric column.
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        runner = SweepRunner(
+            instructions,
+            seed,
+            config_overrides={
+                config_name: lambda cfg, v=value: apply(cfg, v)
+            },
+        )
+        for app in apps:
+            result = runner.result(config_name, app)
+            points.append(
+                SweepPoint(
+                    parameter=value,
+                    app=app,
+                    metric=metric(result),
+                    cycles=result.cycles,
+                )
+            )
+    return SweepResult(parameter_name, metric_name, points)

@@ -1,0 +1,84 @@
+"""Text rendering of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.harness.metrics import CharacterizationRow, CommitRow
+
+
+def _render(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table3(rows: List[CharacterizationRow]) -> str:
+    """Table 3: Characterization of BulkSC (BSCdypvt)."""
+    headers = (
+        "Appl.",
+        "Squashed%",
+        "ReadSet",
+        "WriteSet",
+        "PrivWrite",
+        "WrDisp/100k",
+        "RdDisp/100k",
+        "PrivBuf/1k",
+        "ExtraInv/1k",
+    )
+    body = [
+        (
+            row.app,
+            f"{row.squashed_instructions_pct:.2f}",
+            f"{row.read_set:.1f}",
+            f"{row.write_set:.2f}",
+            f"{row.priv_write_set:.1f}",
+            f"{row.spec_write_displacements_per_100k:.1f}",
+            f"{row.spec_read_displacements_per_100k:.1f}",
+            f"{row.data_from_priv_buffer_per_1k:.1f}",
+            f"{row.extra_cache_invs_per_1k:.1f}",
+        )
+        for row in rows
+    ]
+    return _render(headers, body)
+
+
+def render_table4(rows: List[CommitRow]) -> str:
+    """Table 4: Commit process and coherence operations (BSCdypvt)."""
+    headers = (
+        "Appl.",
+        "Lookups/Commit",
+        "UnnecLookups%",
+        "UnnecUpdates%",
+        "Nodes/WSig",
+        "PendWSigs",
+        "NonEmptyWList%",
+        "RSigReq%",
+        "EmptyWSig%",
+    )
+    body = [
+        (
+            row.app,
+            f"{row.lookups_per_commit:.1f}",
+            f"{row.unnecessary_lookups_pct:.1f}",
+            f"{row.unnecessary_updates_pct:.2f}",
+            f"{row.nodes_per_w_sig:.2f}",
+            f"{row.pending_w_sigs:.2f}",
+            f"{row.nonempty_w_list_pct:.1f}",
+            f"{row.r_sig_required_pct:.1f}",
+            f"{row.empty_w_sig_pct:.1f}",
+        )
+        for row in rows
+    ]
+    return _render(headers, body)
+
+
+def render_generic(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
+    """Render any table with str() cells (used by ablation benches)."""
+    return _render(list(headers), [[str(c) for c in row] for row in rows])

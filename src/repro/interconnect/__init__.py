@@ -1,0 +1,6 @@
+"""Generic interconnection network with per-class traffic accounting."""
+
+from repro.interconnect.network import Network, NodeKind
+from repro.interconnect.traffic import TrafficClass, TrafficMeter
+
+__all__ = ["Network", "NodeKind", "TrafficClass", "TrafficMeter"]

@@ -1,0 +1,120 @@
+"""A 2D-mesh instantiation of the generic interconnect.
+
+The paper's design works over "a generic network"; the default model is
+an unloaded crossbar-like fabric (every pair of tiles two hops apart).
+:class:`MeshNetwork` refines that into a 2D mesh with XY routing:
+latency scales with Manhattan distance and per-link byte counters expose
+where the commit traffic actually flows — the kind of topology a
+distributed-arbiter machine (Section 4.2.3) would use.
+
+Tile placement: processors fill the mesh row-major; each directory (and
+its co-located arbiter) shares the tile of the same-index processor,
+wrapping around if there are more directories than processors.  The
+G-arbiter sits on tile 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.interconnect.network import Network, NodeId, NodeKind
+
+
+class MeshNetwork(Network):
+    """XY-routed 2D mesh with per-link utilization counters."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        num_processors: int,
+        hop_cycles: int = 4,
+        header_bytes: int = 8,
+    ):
+        super().__init__(hop_cycles=hop_cycles, header_bytes=header_bytes)
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if rows * cols < num_processors:
+            raise ValueError(
+                f"a {rows}x{cols} mesh cannot place {num_processors} processors"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.num_processors = num_processors
+        #: Directed link (tile_a, tile_b) -> bytes carried.
+        self.link_bytes: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def tile_of(self, node: NodeId) -> int:
+        """Mesh tile index of an endpoint."""
+        if node.kind is NodeKind.PROCESSOR:
+            return node.index % (self.rows * self.cols)
+        if node.kind in (NodeKind.DIRECTORY, NodeKind.ARBITER):
+            # Directory/arbiter i lives on processor i's tile.
+            return node.index % self.num_processors
+        if node.kind is NodeKind.GLOBAL_ARBITER:
+            return 0
+        raise ValueError(f"unknown node kind {node.kind}")  # pragma: no cover
+
+    def coordinates(self, tile: int) -> Tuple[int, int]:
+        return divmod(tile, self.cols)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def hops(self, src: NodeId, dst: NodeId) -> int:
+        src_tile = self.tile_of(src)
+        dst_tile = self.tile_of(dst)
+        if src_tile == dst_tile:
+            return 0
+        (r1, c1), (r2, c2) = self.coordinates(src_tile), self.coordinates(dst_tile)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def _route(self, src_tile: int, dst_tile: int):
+        """XY routing: correct the column first, then the row."""
+        r, c = self.coordinates(src_tile)
+        r2, c2 = self.coordinates(dst_tile)
+        path = []
+        while c != c2:
+            step = 1 if c2 > c else -1
+            nxt = r * self.cols + (c + step)
+            path.append((r * self.cols + c, nxt))
+            c += step
+        while r != r2:
+            step = 1 if r2 > r else -1
+            nxt = (r + step) * self.cols + c
+            path.append((r * self.cols + c, nxt))
+            r += step
+        return path
+
+    # ------------------------------------------------------------------
+    # Sending (adds per-link accounting on top of the class meter)
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, traffic_class, payload_bytes: int = 0) -> int:
+        size = self.header_bytes + payload_bytes
+        for link in self._route(self.tile_of(src), self.tile_of(dst)):
+            self.link_bytes[link] = self.link_bytes.get(link, 0) + size
+        return super().send(src, dst, traffic_class, payload_bytes)
+
+    # ------------------------------------------------------------------
+    # Utilization queries
+    # ------------------------------------------------------------------
+    def hottest_links(self, top: int = 5):
+        """The ``top`` most-loaded directed links as (link, bytes)."""
+        return sorted(self.link_bytes.items(), key=lambda kv: -kv[1])[:top]
+
+    def total_link_bytes(self) -> int:
+        return sum(self.link_bytes.values())
+
+    def bisection_bytes(self) -> int:
+        """Bytes crossing the vertical bisection (column cut at cols/2)."""
+        cut = self.cols // 2
+        total = 0
+        for (a, b), size in self.link_bytes.items():
+            __, ca = self.coordinates(a)
+            __, cb = self.coordinates(b)
+            if (ca < cut) != (cb < cut):
+                total += size
+        return total

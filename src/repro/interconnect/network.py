@@ -1,0 +1,111 @@
+"""A generic interconnection network model.
+
+The paper deliberately targets "a generic network": BulkSC needs no
+broadcast bus.  We model a symmetric packet-switched fabric connecting
+processor nodes, directory nodes, and the arbiter:
+
+* latency = ``hop_cycles`` x hop count, where nodes on the same chip tile
+  (e.g. an arbiter combined with the single directory) are 0 hops apart
+  and any two distinct tiles are 2 hops apart (request crosses the fabric,
+  plus fabric ingress/egress).  This is the unloaded-latency model used by
+  Table 2.
+* bandwidth is accounted, not contended: Figure 11 measures traffic in
+  bytes, and the paper reports unloaded latencies, so the network meter
+  records bytes per :class:`~repro.interconnect.traffic.TrafficClass`
+  without queueing delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from repro.interconnect.traffic import TrafficClass, TrafficMeter
+
+
+class NodeKind(Enum):
+    PROCESSOR = "proc"
+    DIRECTORY = "dir"
+    ARBITER = "arb"
+    GLOBAL_ARBITER = "garb"
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """A network endpoint: kind + index within that kind."""
+
+    kind: NodeKind
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind.value}{self.index}"
+
+
+class Network:
+    """Latency + traffic accounting for point-to-point messages."""
+
+    def __init__(
+        self,
+        hop_cycles: int = 4,
+        header_bytes: int = 8,
+        combine_arbiter_with_directory: bool = True,
+    ):
+        self.hop_cycles = hop_cycles
+        self.header_bytes = header_bytes
+        self.combine_arbiter_with_directory = combine_arbiter_with_directory
+        self.meter = TrafficMeter()
+
+    # -- topology -----------------------------------------------------------
+    def hops(self, src: NodeId, dst: NodeId) -> int:
+        """Hop count between two endpoints."""
+        if src == dst:
+            return 0
+        if self.combine_arbiter_with_directory and self._same_tile(src, dst):
+            return 0
+        return 2
+
+    @staticmethod
+    def _same_tile(a: NodeId, b: NodeId) -> bool:
+        """Arbiter i and directory i share a tile (Figure 7b)."""
+        arbiter_kinds = (NodeKind.ARBITER, NodeKind.GLOBAL_ARBITER)
+        pair = {a.kind, b.kind}
+        if pair == {NodeKind.ARBITER, NodeKind.DIRECTORY}:
+            return a.index == b.index
+        if NodeKind.GLOBAL_ARBITER in pair and NodeKind.DIRECTORY in pair:
+            return False
+        return a.kind in arbiter_kinds and b.kind in arbiter_kinds
+
+    def latency(self, src: NodeId, dst: NodeId) -> int:
+        return self.hops(src, dst) * self.hop_cycles
+
+    # -- sending -----------------------------------------------------------
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        traffic_class: TrafficClass,
+        payload_bytes: int = 0,
+    ) -> int:
+        """Account for one message and return its delivery latency."""
+        self.meter.record(traffic_class, self.header_bytes + payload_bytes)
+        return self.latency(src, dst)
+
+    def control(self, src: NodeId, dst: NodeId, traffic_class: TrafficClass = TrafficClass.OTHER) -> int:
+        """A header-only control message."""
+        return self.send(src, dst, traffic_class, 0)
+
+    # -- convenience node constructors ----------------------------------------
+    @staticmethod
+    def proc(index: int) -> NodeId:
+        return NodeId(NodeKind.PROCESSOR, index)
+
+    @staticmethod
+    def directory(index: int) -> NodeId:
+        return NodeId(NodeKind.DIRECTORY, index)
+
+    @staticmethod
+    def arbiter(index: int = 0) -> NodeId:
+        return NodeId(NodeKind.ARBITER, index)
+
+    @staticmethod
+    def global_arbiter() -> NodeId:
+        return NodeId(NodeKind.GLOBAL_ARBITER, 0)

@@ -1,0 +1,48 @@
+"""Traffic classification and byte accounting (paper Figure 11).
+
+Every network message belongs to one :class:`TrafficClass`; the
+:class:`TrafficMeter` totals bytes per class so the benchmark harness can
+regenerate Figure 11's stacked breakdown (Rd/Wr, RdSig, WrSig, Inv,
+Other), normalized to RC.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+
+class TrafficClass(Enum):
+    """Message categories used in Figure 11."""
+
+    RD_WR = "Rd/Wr"  # demand reads/writes: requests + data responses
+    RD_SIG = "RdSig"  # R-signature transfers
+    WR_SIG = "WrSig"  # W-signature transfers
+    INV = "Inv"  # invalidations and their acknowledgements
+    OTHER = "Other"  # commit arbitration control, barriers, misc.
+
+
+class TrafficMeter:
+    """Byte totals per traffic class plus message counts."""
+
+    def __init__(self) -> None:
+        self.bytes: Dict[TrafficClass, int] = {cls: 0 for cls in TrafficClass}
+        self.messages: Dict[TrafficClass, int] = {cls: 0 for cls in TrafficClass}
+
+    def record(self, traffic_class: TrafficClass, num_bytes: int) -> None:
+        self.bytes[traffic_class] += num_bytes
+        self.messages[traffic_class] += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def breakdown(self) -> Dict[str, int]:
+        """Stable-keyed byte breakdown for reports."""
+        return {cls.value: self.bytes[cls] for cls in TrafficClass}
+
+    def normalized_to(self, baseline_total: float) -> Dict[str, float]:
+        """Per-class bytes as a fraction of another run's total bytes."""
+        if baseline_total <= 0:
+            raise ValueError("baseline total must be positive")
+        return {cls.value: self.bytes[cls] / baseline_total for cls in TrafficClass}

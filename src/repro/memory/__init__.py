@@ -1,0 +1,29 @@
+"""Memory substrate: addressing, set-associative caches, MSHRs, hierarchy.
+
+The value model is split from the tag model:
+
+* *Values* live in a single coherent image (``MainMemory``) plus the
+  uncommitted overlays owned by consistency models (store buffers, chunk
+  write buffers).
+* *Tags* live in :class:`~repro.memory.cache.SetAssocCache` instances that
+  determine hit/miss timing, evictions, and coherence state.
+
+This split is exactly the property BulkSC exploits: the cache arrays are
+oblivious to speculation; all speculative bookkeeping lives in signatures
+and buffers outside the cache.
+"""
+
+from repro.memory.address import AddressMap, AddressSpace
+from repro.memory.cache import CacheLine, LineState, SetAssocCache
+from repro.memory.main_memory import MainMemory
+from repro.memory.mshr import MshrFile
+
+__all__ = [
+    "AddressMap",
+    "AddressSpace",
+    "SetAssocCache",
+    "CacheLine",
+    "LineState",
+    "MshrFile",
+    "MainMemory",
+]

@@ -1,0 +1,183 @@
+"""Address arithmetic and address-space regions.
+
+Addresses are *word* addresses (integers).  A cache line holds
+``words_per_line`` consecutive words; the *line address* is the word
+address shifted right by ``log2(words_per_line)``.
+
+:class:`AddressSpace` additionally tracks named regions so workloads can
+lay out shared heaps, per-thread stacks, and lock/barrier words, and so
+the statically-private optimization (paper Section 5.1) can classify an
+address as private at "address translation time".
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class AddressMap:
+    """Pure address arithmetic for one machine geometry."""
+
+    def __init__(self, words_per_line: int, num_directories: int = 1):
+        if words_per_line & (words_per_line - 1):
+            raise ConfigError("words_per_line must be a power of two")
+        if num_directories & (num_directories - 1):
+            raise ConfigError("num_directories must be a power of two")
+        self.words_per_line = words_per_line
+        self.num_directories = num_directories
+        self._line_shift = words_per_line.bit_length() - 1
+        self._dir_mask = num_directories - 1
+
+    def line_of(self, word_addr: int) -> int:
+        """Line address containing ``word_addr``."""
+        return word_addr >> self._line_shift
+
+    def word_offset(self, word_addr: int) -> int:
+        return word_addr & (self.words_per_line - 1)
+
+    def words_of_line(self, line_addr: int) -> range:
+        base = line_addr << self._line_shift
+        return range(base, base + self.words_per_line)
+
+    def directory_of(self, line_addr: int) -> int:
+        """Home directory module for a line (low-order interleaving)."""
+        return line_addr & self._dir_mask
+
+    def set_index(self, line_addr: int, num_sets: int) -> int:
+        return line_addr & (num_sets - 1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, half-open range ``[start_word, end_word)`` of the space."""
+
+    name: str
+    start_word: int
+    end_word: int
+    private_to: Optional[int] = None  # processor id, or None for shared
+
+    def __contains__(self, word_addr: int) -> bool:
+        return self.start_word <= word_addr < self.end_word
+
+    @property
+    def size_words(self) -> int:
+        return self.end_word - self.start_word
+
+
+class AddressSpace:
+    """A flat word-addressed space carved into named regions.
+
+    Regions never overlap.  Allocation is a simple bump pointer, with each
+    region aligned to a line boundary so private and shared data never
+    share a cache line (matching how a real allocator would page-align
+    stacks and heaps).
+    """
+
+    #: Scattered regions are placed at ``region_id << SCATTER_SHIFT`` line
+    #: addresses; 12 random id bits emulate the high virtual-address bits
+    #: real allocations carry, which the bit-field signatures rely on.
+    SCATTER_SHIFT = 24
+    SCATTER_ID_BITS = 12
+
+    def __init__(self, address_map: AddressMap, scatter_seed: int = 0):
+        self.map = address_map
+        self._regions: List[Region] = []
+        self._regions_by_name: Dict[str, Region] = {}
+        self._next_free_word = 0
+        self._scatter_seed = scatter_seed
+        self._scatter_ids_used: set = set()
+        # Sorted region starts for bisect-free linear lookup; region counts
+        # are tiny (a few dozen) so a list scan is fine and keeps it simple.
+
+    def allocate(
+        self,
+        name: str,
+        size_words: int,
+        private_to: Optional[int] = None,
+    ) -> Region:
+        """Allocate a line-aligned region and register it."""
+        if name in self._regions_by_name:
+            raise ConfigError(f"region {name!r} already allocated")
+        if size_words <= 0:
+            raise ConfigError("region size must be positive")
+        wpl = self.map.words_per_line
+        start = (self._next_free_word + wpl - 1) // wpl * wpl
+        # Round the size up to whole lines too, so the *next* region cannot
+        # share this region's last line.
+        size = (size_words + wpl - 1) // wpl * wpl
+        region = Region(name, start, start + size, private_to)
+        self._regions.append(region)
+        self._regions_by_name[name] = region
+        self._next_free_word = start + size
+        return region
+
+    def allocate_scattered(
+        self,
+        name: str,
+        size_words: int,
+        private_to: Optional[int] = None,
+    ) -> Region:
+        """Allocate a region at a randomized, widely-separated base.
+
+        Emulates how a real virtual-memory layout separates heaps, stacks,
+        and mapped segments: the region's base line address carries a
+        random 12-bit id in its high bits, giving address signatures the
+        high-bit entropy they exploit to keep cross-region aliasing low.
+        Deterministic in (scatter_seed, name).
+        """
+        if name in self._regions_by_name:
+            raise ConfigError(f"region {name!r} already allocated")
+        if size_words <= 0:
+            raise ConfigError("region size must be positive")
+        wpl = self.map.words_per_line
+        max_lines = 1 << self.SCATTER_SHIFT
+        if size_words > max_lines * wpl:
+            raise ConfigError(f"region {name!r} too large for scattered layout")
+        region_id = self._scatter_id_for(name)
+        # Stagger the low line bits too: without it every region would
+        # start at cache set 0 and the low sets would thrash.
+        stagger_lines = (region_id * 0x9E3779B1) & 0x3FFF
+        start = ((region_id << self.SCATTER_SHIFT) + stagger_lines) * wpl
+        size = (size_words + wpl - 1) // wpl * wpl
+        region = Region(name, start, start + size, private_to)
+        self._regions.append(region)
+        self._regions_by_name[name] = region
+        return region
+
+    def _scatter_id_for(self, name: str) -> int:
+        digest = zlib.crc32(name.encode("utf-8"), self._scatter_seed & 0xFFFFFFFF)
+        mask = (1 << self.SCATTER_ID_BITS) - 1
+        region_id = digest & mask
+        while region_id in self._scatter_ids_used or region_id == 0:
+            region_id = (region_id + 1) & mask
+        self._scatter_ids_used.add(region_id)
+        return region_id
+
+    def region(self, name: str) -> Region:
+        return self._regions_by_name[name]
+
+    def region_of(self, word_addr: int) -> Optional[Region]:
+        for region in self._regions:
+            if word_addr in region:
+                return region
+        return None
+
+    def is_statically_private(self, word_addr: int, proc: int) -> bool:
+        """True if ``word_addr`` is in a region private to ``proc``.
+
+        Models the page-level private attribute of Section 5.1 (checked at
+        address-translation time).
+        """
+        region = self.region_of(word_addr)
+        return region is not None and region.private_to == proc
+
+    def regions(self) -> Tuple[Region, ...]:
+        return tuple(self._regions)
+
+    @property
+    def highest_word(self) -> int:
+        return self._next_free_word

@@ -1,0 +1,74 @@
+"""Miss Status Holding Registers.
+
+An :class:`MshrFile` bounds the number of outstanding line misses a cache
+can have in flight.  Requests to a line that is already in flight merge
+into the existing entry (secondary misses).  When the file is full, the
+caller must stall until :meth:`earliest_free` — this is one of the levers
+that differentiates the consistency models' overlap behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MshrFile:
+    """Tracks outstanding misses as ``line_addr -> completion_time``."""
+
+    def __init__(self, capacity: int, name: str = "mshr"):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be at least 1")
+        self.capacity = capacity
+        self.name = name
+        self._outstanding: Dict[int, float] = {}
+        self.primary_misses = 0
+        self.secondary_misses = 0
+        self.full_stalls = 0
+
+    def _expire(self, now: float) -> None:
+        if not self._outstanding:
+            return
+        done = [addr for addr, t in self._outstanding.items() if t <= now]
+        for addr in done:
+            del self._outstanding[addr]
+
+    def outstanding(self, now: float) -> int:
+        self._expire(now)
+        return len(self._outstanding)
+
+    def in_flight(self, line_addr: int, now: float) -> bool:
+        self._expire(now)
+        return line_addr in self._outstanding
+
+    def completion_time(self, line_addr: int, now: float) -> float:
+        """When the in-flight miss for ``line_addr`` completes (else now)."""
+        self._expire(now)
+        return self._outstanding.get(line_addr, now)
+
+    def earliest_free(self, now: float) -> float:
+        """Earliest time an entry frees up (``now`` if one is free)."""
+        self._expire(now)
+        if len(self._outstanding) < self.capacity:
+            return now
+        self.full_stalls += 1
+        return min(self._outstanding.values())
+
+    def allocate(self, line_addr: int, completion_time: float, now: float) -> float:
+        """Allocate (or merge into) an entry; returns the completion time.
+
+        Callers must first consult :meth:`earliest_free` and advance their
+        clock if the file is full; allocating into a full file raises.
+        """
+        self._expire(now)
+        existing = self._outstanding.get(line_addr)
+        if existing is not None:
+            self.secondary_misses += 1
+            return existing
+        if len(self._outstanding) >= self.capacity:
+            raise RuntimeError(f"{self.name}: allocate into full MSHR file")
+        self.primary_misses += 1
+        self._outstanding[line_addr] = completion_time
+        return completion_time
+
+    def clear(self) -> None:
+        self._outstanding.clear()

@@ -1,0 +1,44 @@
+"""Address signatures and bulk operations (paper Section 2.2).
+
+A signature is a superset encoding of a set of line addresses.  Two
+implementations share one interface:
+
+* :class:`~repro.signatures.bloom.BloomSignature` — the hardware-faithful
+  banked Bloom filter (~2 Kbit, permute-based hashing) used by every BulkSC
+  configuration except BSCexact.
+* :class:`~repro.signatures.exact.ExactSignature` — a "magic" alias-free
+  signature used to isolate the cost of aliasing (BSCexact in the paper).
+
+The primitive operations of Figure 2(b) — intersection, union, emptiness,
+membership, and decoding into cache sets — are methods on the signatures,
+with functional wrappers in :mod:`repro.signatures.ops`.
+"""
+
+from repro.signatures.base import Signature
+from repro.signatures.bloom import BloomSignature
+from repro.signatures.compression import compressed_size_bits, compressed_size_bytes
+from repro.signatures.exact import ExactSignature
+from repro.signatures.factory import SignatureFactory
+from repro.signatures.ops import (
+    expand_into_sets,
+    intersect,
+    intersects,
+    is_empty,
+    member,
+    union,
+)
+
+__all__ = [
+    "Signature",
+    "BloomSignature",
+    "ExactSignature",
+    "SignatureFactory",
+    "intersect",
+    "intersects",
+    "union",
+    "is_empty",
+    "member",
+    "expand_into_sets",
+    "compressed_size_bits",
+    "compressed_size_bytes",
+]

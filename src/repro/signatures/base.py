@@ -1,0 +1,88 @@
+"""Common interface for address signatures."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, Set
+
+
+class Signature(ABC):
+    """A superset encoding of a set of cache-line addresses.
+
+    Mutating methods (:meth:`insert`, :meth:`clear`, :meth:`union_update`)
+    are used while a chunk accumulates accesses; the functional operations
+    (:meth:`intersect`, :meth:`union`) return new signatures and model the
+    BDM's combinational signature units.
+
+    Subclasses must be mutually compatible only with instances of the same
+    concrete type and geometry; mixing Bloom and exact signatures is a
+    programming error and raises ``TypeError``.
+    """
+
+    __slots__ = ()
+
+    # -- mutation -----------------------------------------------------------
+    @abstractmethod
+    def insert(self, line_addr: int) -> None:
+        """Accumulate one line address."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Reset to the empty signature."""
+
+    def insert_all(self, line_addrs: Iterable[int]) -> None:
+        for addr in line_addrs:
+            self.insert(addr)
+
+    @abstractmethod
+    def union_update(self, other: "Signature") -> None:
+        """In-place union (bitwise OR for Bloom signatures)."""
+
+    # -- functional operations (Figure 2b) ----------------------------------
+    @abstractmethod
+    def intersect(self, other: "Signature") -> "Signature":
+        """Signature intersection (∩)."""
+
+    @abstractmethod
+    def union(self, other: "Signature") -> "Signature":
+        """Signature union (∪)."""
+
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """Emptiness test (= ∅): true iff no address can be a member."""
+
+    @abstractmethod
+    def member(self, line_addr: int) -> bool:
+        """Membership test (∈); may report false positives."""
+
+    @abstractmethod
+    def decode_sets(self, num_sets: int) -> Set[int]:
+        """Decode (δ) into the cache-set indices that could hold members.
+
+        Enables *signature expansion*: finding all lines in a cache (or
+        directory) that may belong to the signature without traversing the
+        whole structure.
+        """
+
+    @abstractmethod
+    def copy(self) -> "Signature":
+        """Deep copy; used when a chunk hands its signatures to the arbiter."""
+
+    @abstractmethod
+    def empty_like(self) -> "Signature":
+        """A new empty signature with this signature's geometry."""
+
+    # -- convenience ---------------------------------------------------------
+    def intersects(self, other: "Signature") -> bool:
+        """True iff ``self ∩ other`` might be non-empty."""
+        return not self.intersect(other).is_empty()
+
+    # -- introspection (for stats; not available to 'hardware') -------------
+    @abstractmethod
+    def exact_members(self) -> FrozenSet[int]:
+        """The precise set of inserted addresses.
+
+        This is *simulator-only* bookkeeping used to measure aliasing
+        (false positives, unnecessary lookups) for the paper's Tables 3-4;
+        the modeled hardware never reads it.
+        """

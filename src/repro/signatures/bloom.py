@@ -1,0 +1,235 @@
+"""Banked Bloom-filter signatures (paper Figure 2a, organization as in Bulk).
+
+The hardware *permutes* the bits of each line address and uses disjoint
+bit-fields of the permuted value to index independent banks of a bit
+array.  We model the permutation as a stride-``num_banks`` bit
+interleave: bank *i* is indexed by address bits ``i, i+B, i+2B, ...``
+(B = number of banks).  This is the property that gives Bulk signatures
+their characteristic behaviour, which the paper's evaluation depends on:
+
+* **Spatial locality is nearly alias-free.**  Two chunks working in
+  different memory regions differ in some high address bit; that bit
+  lands in one bank's field, making the two chunks' index sets in that
+  bank *disjoint* — the bank AND is zero and the intersection is provably
+  empty.  This is why ocean's dense partitioned accesses barely alias.
+* **Scattered accesses saturate.**  A radix-style permutation scatter
+  sets bits across every bank's space, so intersections with anything
+  look non-empty — reproducing radix's pathological squash rate.
+
+A bank with *no* bits set proves the encoded set is empty, so the
+emptiness test after an intersection is "any bank is all-zero" — the
+same circuit the BDM uses.
+
+Decode (δ) reconstructs candidate cache sets by projecting each bank's
+set bit positions onto the address bits that form the cache index and
+intersecting the per-bank constraints — without touching the cache.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from repro.signatures.base import Signature
+
+#: Address bits covered by the bit-interleave before folding wraps around.
+_FOLD_BITS = 36
+
+#: Memoized per-geometry index tuples: (num_banks, index_bits, line) -> tuple.
+#: Line addresses repeat constantly (pin checks, membership tests), so this
+#: is a large win for simulation speed; footprints bound its size.
+_INDEX_CACHE = {}
+
+
+class BloomSignature(Signature):
+    """A ``num_banks``-banked, bit-field-indexed Bloom filter."""
+
+    __slots__ = ("num_banks", "bits_per_bank", "_index_bits", "_banks", "_exact")
+
+    def __init__(self, size_bits: int = 2048, num_banks: int = 4):
+        if size_bits % num_banks:
+            raise ValueError("size_bits must divide evenly into banks")
+        self.num_banks = num_banks
+        self.bits_per_bank = size_bits // num_banks
+        if self.bits_per_bank & (self.bits_per_bank - 1):
+            raise ValueError("bits per bank must be a power of two")
+        self._index_bits = self.bits_per_bank.bit_length() - 1
+        self._banks: List[int] = [0] * num_banks
+        # Simulator-only ground truth for aliasing statistics.
+        self._exact: Set[int] = set()
+
+    # -- hashing ---------------------------------------------------------
+    def _fold(self, line_addr: int) -> int:
+        """Fold addresses wider than the interleave back into range."""
+        folded = line_addr & ((1 << _FOLD_BITS) - 1)
+        extra = line_addr >> _FOLD_BITS
+        while extra:
+            folded ^= extra & ((1 << _FOLD_BITS) - 1)
+            extra >>= _FOLD_BITS
+        return folded
+
+    def _bank_indices(self, line_addr: int) -> tuple:
+        """Per-bank bit indices for ``line_addr`` (memoized)."""
+        key = (self.num_banks, self._index_bits, line_addr)
+        cached = _INDEX_CACHE.get(key)
+        if cached is not None:
+            return cached
+        addr = self._fold(line_addr)
+        banks = self.num_banks
+        indices = []
+        for bank in range(banks):
+            index = 0
+            for j in range(self._index_bits):
+                index |= ((addr >> (bank + banks * j)) & 1) << j
+            indices.append(index)
+        result = tuple(indices)
+        _INDEX_CACHE[key] = result
+        return result
+
+    def _bank_index(self, bank: int, line_addr: int) -> int:
+        """Gather address bits ``bank, bank+B, bank+2B, ...`` into an index."""
+        return self._bank_indices(line_addr)[bank]
+
+    # -- geometry helpers ----------------------------------------------------
+    @property
+    def size_bits(self) -> int:
+        return self.bits_per_bank * self.num_banks
+
+    def _check_compatible(self, other: Signature) -> "BloomSignature":
+        if not isinstance(other, BloomSignature):
+            raise TypeError(f"cannot combine BloomSignature with {type(other).__name__}")
+        if (
+            other.num_banks != self.num_banks
+            or other.bits_per_bank != self.bits_per_bank
+        ):
+            raise TypeError("signature geometries differ")
+        return other
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, line_addr: int) -> None:
+        indices = self._bank_indices(line_addr)
+        for bank in range(self.num_banks):
+            self._banks[bank] |= 1 << indices[bank]
+        self._exact.add(line_addr)
+
+    def clear(self) -> None:
+        for bank in range(self.num_banks):
+            self._banks[bank] = 0
+        self._exact.clear()
+
+    def union_update(self, other: Signature) -> None:
+        o = self._check_compatible(other)
+        for bank in range(self.num_banks):
+            self._banks[bank] |= o._banks[bank]
+        self._exact |= o._exact
+
+    # -- functional operations -------------------------------------------------
+    def intersect(self, other: Signature) -> "BloomSignature":
+        o = self._check_compatible(other)
+        out = BloomSignature(self.size_bits, self.num_banks)
+        for bank in range(self.num_banks):
+            out._banks[bank] = self._banks[bank] & o._banks[bank]
+        out._exact = self._exact & o._exact
+        return out
+
+    def union(self, other: Signature) -> "BloomSignature":
+        o = self._check_compatible(other)
+        out = BloomSignature(self.size_bits, self.num_banks)
+        for bank in range(self.num_banks):
+            out._banks[bank] = self._banks[bank] | o._banks[bank]
+        out._exact = self._exact | o._exact
+        return out
+
+    def is_empty(self) -> bool:
+        # An address sets one bit in *every* bank, so an all-zero bank
+        # proves the encoded set is empty.
+        return any(bank_bits == 0 for bank_bits in self._banks)
+
+    def member(self, line_addr: int) -> bool:
+        indices = self._bank_indices(line_addr)
+        for bank in range(self.num_banks):
+            if not (self._banks[bank] >> indices[bank]) & 1:
+                return False
+        return True
+
+    # -- decode (δ) --------------------------------------------------------------
+    def decode_sets(self, num_sets: int) -> Set[int]:
+        """Candidate cache sets, reconstructed from the bank bit-fields.
+
+        The cache set index is the low ``log2(num_sets)`` line-address
+        bits.  Bank *i* constrains the address bits ``i, i+B, ...``; a set
+        index is a candidate iff, for every bank, some set bit in that
+        bank projects onto the same values for the index bits the bank
+        covers.
+        """
+        if self.is_empty():
+            return set()
+        set_bits = num_sets.bit_length() - 1
+        if set_bits == 0:
+            return {0}
+        # For each bank, the projections (onto its covered set-index bits)
+        # that are present among its set bit positions.
+        bank_projections: List[Set[int]] = []
+        bank_positions: List[List[int]] = []
+        for bank in range(self.num_banks):
+            # Set-index bit positions covered by this bank: address bit
+            # b = bank + B*j with b < set_bits; within the bank's index,
+            # that address bit is index bit j.
+            positions = [
+                (b, (b - bank) // self.num_banks)
+                for b in range(bank, set_bits, self.num_banks)
+            ]
+            bank_positions.append(positions)
+            if not positions:
+                bank_projections.append(set())
+                continue
+            seen: Set[int] = set()
+            bits = self._banks[bank]
+            index = 0
+            while bits:
+                if bits & 1:
+                    projection = 0
+                    for __, j in positions:
+                        projection = (projection << 1) | ((index >> j) & 1)
+                    seen.add(projection)
+                bits >>= 1
+                index += 1
+            bank_projections.append(seen)
+        candidates: Set[int] = set()
+        for set_index in range(num_sets):
+            ok = True
+            for bank in range(self.num_banks):
+                positions = bank_positions[bank]
+                if not positions:
+                    continue
+                projection = 0
+                for b, __ in positions:
+                    projection = (projection << 1) | ((set_index >> b) & 1)
+                if projection not in bank_projections[bank]:
+                    ok = False
+                    break
+            if ok:
+                candidates.add(set_index)
+        return candidates
+
+    def copy(self) -> "BloomSignature":
+        out = BloomSignature(self.size_bits, self.num_banks)
+        out._banks = list(self._banks)
+        out._exact = set(self._exact)
+        return out
+
+    def empty_like(self) -> "BloomSignature":
+        return BloomSignature(self.size_bits, self.num_banks)
+
+    # -- introspection -----------------------------------------------------------
+    def exact_members(self) -> FrozenSet[int]:
+        return frozenset(self._exact)
+
+    def popcount(self) -> int:
+        """Total number of set bits; a pollution measure."""
+        return sum(bin(bank_bits).count("1") for bank_bits in self._banks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BloomSignature banks={self.num_banks}x{self.bits_per_bank} "
+            f"pop={self.popcount()} true={len(self._exact)}>"
+        )

@@ -1,0 +1,76 @@
+"""Alias-free "magic" signatures (the paper's BSCexact configuration).
+
+An :class:`ExactSignature` stores the precise address set.  It answers every
+bulk operation without false positives, which lets experiments isolate how
+much of BulkSC's behaviour (squashes, unnecessary invalidations, directory
+lookups) is caused by Bloom aliasing rather than true sharing.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.signatures.base import Signature
+
+
+class ExactSignature(Signature):
+    """A signature that is simply the set of inserted line addresses."""
+
+    __slots__ = ("_members",)
+
+    def __init__(self) -> None:
+        self._members: Set[int] = set()
+
+    def _check_compatible(self, other: Signature) -> "ExactSignature":
+        if not isinstance(other, ExactSignature):
+            raise TypeError(f"cannot combine ExactSignature with {type(other).__name__}")
+        return other
+
+    # -- mutation -----------------------------------------------------------
+    def insert(self, line_addr: int) -> None:
+        self._members.add(line_addr)
+
+    def clear(self) -> None:
+        self._members.clear()
+
+    def union_update(self, other: Signature) -> None:
+        self._members |= self._check_compatible(other)._members
+
+    # -- functional operations ------------------------------------------------
+    def intersect(self, other: Signature) -> "ExactSignature":
+        out = ExactSignature()
+        out._members = self._members & self._check_compatible(other)._members
+        return out
+
+    def union(self, other: Signature) -> "ExactSignature":
+        out = ExactSignature()
+        out._members = self._members | self._check_compatible(other)._members
+        return out
+
+    def is_empty(self) -> bool:
+        return not self._members
+
+    def member(self, line_addr: int) -> bool:
+        return line_addr in self._members
+
+    def decode_sets(self, num_sets: int) -> Set[int]:
+        mask = num_sets - 1
+        return {addr & mask for addr in self._members}
+
+    def copy(self) -> "ExactSignature":
+        out = ExactSignature()
+        out._members = set(self._members)
+        return out
+
+    def empty_like(self) -> "ExactSignature":
+        return ExactSignature()
+
+    # -- introspection -----------------------------------------------------------
+    def exact_members(self) -> FrozenSet[int]:
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ExactSignature n={len(self._members)}>"

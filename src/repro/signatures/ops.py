@@ -1,0 +1,60 @@
+"""Functional wrappers over the primitive signature operations.
+
+These mirror Figure 2(b) of the paper.  They are convenience aliases for
+the corresponding :class:`~repro.signatures.base.Signature` methods, useful
+when code reads better in operator style::
+
+    if not is_empty(intersect(w_commit, r_local)):
+        squash()
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.signatures.base import Signature
+
+
+def intersect(a: Signature, b: Signature) -> Signature:
+    """Signature intersection (∩)."""
+    return a.intersect(b)
+
+
+def union(a: Signature, b: Signature) -> Signature:
+    """Signature union (∪)."""
+    return a.union(b)
+
+
+def is_empty(signature: Signature) -> bool:
+    """Emptiness test (= ∅)."""
+    return signature.is_empty()
+
+
+def member(signature: Signature, line_addr: int) -> bool:
+    """Membership test (∈); may report false positives."""
+    return signature.member(line_addr)
+
+
+def intersects(a: Signature, b: Signature) -> bool:
+    """True iff ``a ∩ b`` is (possibly) non-empty."""
+    return a.intersects(b)
+
+
+def expand_into_sets(signature: Signature, num_sets: int) -> Set[int]:
+    """Signature decoding (δ) into candidate cache-set indices."""
+    return signature.decode_sets(num_sets)
+
+
+def collides(w_commit: Signature, r_local: Signature, w_local: Signature) -> bool:
+    """The bulk-disambiguation predicate from Section 2.2.
+
+    A local chunk collides with a committing chunk C when::
+
+        (W_C ∩ R_L) ∪ (W_C ∩ W_L) ≠ ∅
+
+    The W ∩ W term is required because a store updates only part of a cache
+    line, so two writers of one line must not commit concurrently.
+    """
+    if not w_commit.intersect(r_local).is_empty():
+        return True
+    return not w_commit.intersect(w_local).is_empty()

@@ -1,0 +1,416 @@
+"""Machine assembly: configuration + workload -> runnable simulation.
+
+:class:`Machine` wires the substrates together according to the
+configured consistency model:
+
+* every model gets the event kernel, coherence controller (caches +
+  directories + network), global memory image, sync manager, and history;
+* BulkSC additionally gets per-processor BDMs, DirBDMs on each directory,
+  the (central or distributed) arbiter, and the commit engine.
+
+:func:`run_workload` is the one-call entry point used by the examples,
+tests, and benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.dirbdm import DirBDM
+from repro.coherence.protocol import AccessOutcome, CoherenceController
+from repro.consistency.rc import RCDriver
+from repro.consistency.sc import SCDriver
+from repro.consistency.scpp import SCPPDriver
+from repro.consistency.tso import TSODriver
+from repro.core.bdm import BDM
+from repro.core.chunk import Chunk
+from repro.core.commit import CommitEngine
+from repro.core.arbiter import Arbiter
+from repro.core.distributed_arbiter import DistributedArbiter
+from repro.core.driver import BulkSCDriver
+from repro.cpu.driver import DriverState, ProcessorDriver
+from repro.cpu.sync import SyncManager
+from repro.cpu.thread import ThreadContext, ThreadProgram
+from repro.engine.simulator import Simulator
+from repro.errors import ConfigError, DeadlockError
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficClass
+from repro.memory.address import AddressSpace
+from repro.memory.cache import LineState
+from repro.memory.main_memory import MainMemory
+from repro.params import (
+    ArbiterTopology,
+    ConsistencyModelKind,
+    SystemConfig,
+)
+from repro.signatures.compression import compressed_size_bytes
+from repro.signatures.factory import SignatureFactory
+from repro.verify.history import ExecutionHistory
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation produces."""
+
+    config: SystemConfig
+    cycles: float
+    per_proc_finish: List[float]
+    total_instructions: int
+    registers: Dict[int, Dict[str, int]]
+    stats: Dict[str, float]
+    traffic_bytes: Dict[str, int]
+    history: ExecutionHistory
+    memory: MainMemory
+    machine: "Machine" = field(repr=False, default=None)
+
+    @property
+    def model_name(self) -> str:
+        return self.config.model.value
+
+    def stat(self, name: str, default: float = 0.0) -> float:
+        return self.stats.get(name, default)
+
+
+class Machine:
+    """One simulated multiprocessor running one workload."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: List[ThreadProgram],
+        address_space: AddressSpace,
+        record_history: bool = True,
+    ):
+        config.validate()
+        if len(programs) > config.num_processors:
+            raise ConfigError(
+                f"{len(programs)} programs for {config.num_processors} processors"
+            )
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.stats = self.sim.stats
+        self.memory = MainMemory()
+        use_dir_cache = (
+            config.model is ConsistencyModelKind.BULKSC
+            and config.bulksc.use_directory_cache
+        )
+        self.coherence = CoherenceController(
+            config,
+            self.stats,
+            use_directory_cache=use_dir_cache,
+            directory_cache_sets=config.bulksc.directory_cache_sets,
+            directory_cache_ways=config.bulksc.directory_cache_ways,
+            on_directory_displace=self._on_directory_displacement
+            if use_dir_cache
+            else None,
+        )
+        self.sync = SyncManager(self.sim)
+        self.history = ExecutionHistory(enabled=record_history)
+        self.address_space = address_space
+        self.coherence.eviction_observer = self._on_l1_eviction
+        # Threads: unassigned processors idle on an empty program.
+        self.threads: List[ThreadContext] = []
+        for proc in range(config.num_processors):
+            program = (
+                programs[proc]
+                if proc < len(programs)
+                else ThreadProgram([], name=f"idle{proc}")
+            )
+            self.threads.append(ThreadContext(proc, program))
+        # BulkSC machinery (None for baselines).
+        self.bdms: List[BDM] = []
+        self.dirbdms: List[DirBDM] = []
+        self.arbiter = None
+        self.commit_engine: Optional[CommitEngine] = None
+        if config.model is ConsistencyModelKind.BULKSC:
+            self._build_bulksc()
+        self.drivers: List[ProcessorDriver] = [
+            self._build_driver(proc) for proc in range(config.num_processors)
+        ]
+        self._finished_count = 0
+        self._result: Optional[RunResult] = None
+        #: Non-speculative I/O operations, in global order:
+        #: (time, proc, device, value).
+        self.io_log: List[tuple] = []
+
+    def perform_io(self, time: float, proc: int, device: int, value: int) -> None:
+        """Record a completed uncached I/O operation."""
+        self.io_log.append((time, proc, device, value))
+        self.stats.bump("io.operations")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_bulksc(self) -> None:
+        cfg = self.config
+        factory = SignatureFactory(cfg.bulksc.signature)
+        self.bdms = [
+            BDM(
+                proc,
+                self.coherence.l1s[proc],
+                factory,
+                private_buffer_capacity=cfg.bulksc.private_buffer_lines,
+                stats=self.stats,
+            )
+            for proc in range(cfg.num_processors)
+        ]
+        self.dirbdms = [
+            DirBDM(directory, stats=self.stats)
+            for directory in self.coherence.directories
+        ]
+        if cfg.bulksc.arbiter_topology is ArbiterTopology.DISTRIBUTED:
+            self.arbiter = DistributedArbiter(
+                cfg.bulksc, cfg.num_directories, self.stats
+            )
+        else:
+            self.arbiter = Arbiter(cfg.bulksc, self.stats)
+        self.commit_engine = CommitEngine(self)
+
+    def _build_driver(self, proc: int) -> ProcessorDriver:
+        model = self.config.model
+        thread = self.threads[proc]
+        if model is ConsistencyModelKind.SC:
+            return SCDriver(proc, thread, self)
+        if model is ConsistencyModelKind.RC:
+            return RCDriver(proc, thread, self)
+        if model is ConsistencyModelKind.TSO:
+            return TSODriver(proc, thread, self)
+        if model is ConsistencyModelKind.SCPP:
+            return SCPPDriver(proc, thread, self)
+        if model is ConsistencyModelKind.BULKSC:
+            return BulkSCDriver(proc, thread, self)
+        raise ConfigError(f"unknown model {model}")
+
+    # ------------------------------------------------------------------
+    # Cross-component services
+    # ------------------------------------------------------------------
+    def broadcast_write(self, writer_proc: int, line_addr: int, time: float) -> None:
+        """A store became visible; let other drivers react (SHiQ, prefetch)."""
+        for driver in self.drivers:
+            if driver.proc == writer_proc:
+                continue
+            hook = getattr(driver, "on_remote_write", None)
+            if hook is not None:
+                hook(line_addr, time)
+
+    def deliver_commit_to_proc(self, proc: int, chunk: Chunk, now: float) -> None:
+        """Forward a committing chunk's W to one processor's BDM."""
+        driver = self.drivers[proc]
+        assert isinstance(driver, BulkSCDriver)
+        driver.on_incoming_commit(chunk, now, on_invalidation_list=True)
+
+    def check_missed_collision(self, proc: int, chunk: Chunk, now: float) -> None:
+        """Safety net for the directory's invalidation-list filter.
+
+        The Table 1 filter must never hide a *true* conflict: every read
+        registers its processor as a sharer (clean L1 evictions are
+        silent), so a processor with the committed line in any active R
+        or W set is always on the invalidation list.  Ground truth is
+        checked here; a hit means a protocol invariant broke, and the
+        chunk is squashed anyway to keep the simulation SC.
+        """
+        driver = self.drivers[proc]
+        assert isinstance(driver, BulkSCDriver)
+        if not chunk.true_written_lines:
+            return
+        for local in self.bdms[proc].active_chunks():
+            if not local.is_active:
+                continue
+            touched = local.true_read_lines | local.true_written_lines
+            if touched & chunk.true_written_lines:
+                self.stats.bump(f"proc{proc}.squashes_missed_by_dir_filter")
+                driver.on_incoming_commit(chunk, now, on_invalidation_list=False)
+                return
+
+    def bulk_fetch(
+        self,
+        proc: int,
+        line_addr: int,
+        now: float,
+        pinned: Callable[[int], bool],
+    ) -> AccessOutcome:
+        """A chunk's demand fetch: read request + BulkSC intercepts.
+
+        Two interceptions happen before the plain coherence fill:
+
+        * **Read-disable bounce** (Section 4.3.2): the home DirBDM
+          membership-tests the line against every in-flight committed W;
+          a hit bounces the read, which retries after the commit's
+          acknowledgements — modeled as added latency.
+        * **Wpriv intervention** (Section 5.2): if the dirty owner's BDM
+          finds the line in a running chunk's Wpriv, the Private Buffer
+          supplies the *old* version and the address is added back into
+          that chunk's W signature.
+        """
+        extra_latency = 0.0
+        dir_index = self.coherence.address_map.directory_of(line_addr)
+        dirbdm = self.dirbdms[dir_index]
+        if dirbdm.is_read_disabled(line_addr):
+            extra_latency += (
+                2 * self.config.network_hop_cycles + CommitEngine.ACK_TURNAROUND_CYCLES
+            )
+        self._maybe_wpriv_intervention(proc, line_addr)
+        outcome = self.coherence.fetch_for_chunk(proc, line_addr, now, pinned)
+        if extra_latency:
+            outcome.latency += extra_latency
+        return outcome
+
+    def _maybe_wpriv_intervention(self, requester: int, line_addr: int) -> None:
+        directory = self.coherence.home_directory(line_addr)
+        entry = directory.peek(line_addr)
+        if (
+            entry is None
+            or not entry.dirty
+            or entry.owner is None
+            or entry.owner == requester
+        ):
+            return
+        owner = entry.owner
+        owner_bdm = self.bdms[owner]
+        if owner_bdm.wpriv_member(line_addr) is None:
+            return
+        # The predicted-private pattern broke: provide the old copy from
+        # the Private Buffer and "add back" the address to W (Section
+        # 5.2).  Every in-flight chunk that routed this line into Wpriv
+        # must move it to W — otherwise a later chunk could commit an
+        # update to the line without the requester (which now holds the
+        # line in its R signature) ever being disambiguated.
+        image = owner_bdm.private_buffer.supply(line_addr)
+        matched = False
+        for chunk in owner_bdm.active_chunks():
+            if not chunk.is_active or not chunk.wpriv_sig.member(line_addr):
+                continue
+            matched = True
+            chunk.private_buffer_lines.discard(line_addr)
+            chunk.w_sig.insert(line_addr)
+            chunk.true_written_lines.add(line_addr)
+        if not matched:
+            return
+        if image is not None:
+            self.stats.bump(f"proc{owner}.data_from_private_buffer")
+        # The old version reaches L2; the owner's cached copy is now a
+        # speculative version protected by W (pinned, re-owned at commit).
+        owner_line = self.coherence.l1s[owner].probe(line_addr)
+        if owner_line is not None:
+            owner_line.state = LineState.SHARED
+        entry.clear_owner()
+        entry.sharers.add(owner)
+
+    def _on_directory_displacement(self, entry) -> None:
+        """Directory-cache displacement protocol (Section 4.3.3).
+
+        The displaced line's address is built into a one-line signature
+        and sent to every sharer cache for bulk disambiguation; cached
+        copies are invalidated (written back if dirty).  The work is
+        deferred to an immediate event because a displacement can be
+        triggered from inside the victim processor's own execution step.
+        """
+        line_addr = entry.line_addr
+        sharers = set(entry.sharers)
+        self.stats.bump("directory.displacements")
+        # The disambiguation signature travels the fabric: charging the
+        # round trip is both realistic and load-bearing — a zero-delay
+        # displacement can chain displacement → squash → replay → refetch
+        # → displacement at one timestamp and livelock the simulation.
+        delay = 2.0 * self.config.network_hop_cycles
+        self.sim.after(
+            delay,
+            lambda: self._process_directory_displacement(line_addr, sharers),
+            label=f"dir.displace@{line_addr:#x}",
+        )
+
+    def _process_directory_displacement(self, line_addr: int, sharers) -> None:
+        if not self.bdms:
+            for proc in sharers:
+                self.coherence.invalidate_in_cache(proc, line_addr)
+            return
+        factory = self.bdms[0].factory
+        signature = factory.from_addresses([line_addr])
+        now = self.sim.now
+        dir_node = Network.directory(
+            self.coherence.address_map.directory_of(line_addr)
+        )
+        for proc in sorted(sharers):
+            self.coherence.network.send(
+                dir_node,
+                Network.proc(proc),
+                TrafficClass.WR_SIG,
+                compressed_size_bytes(signature),
+            )
+            driver = self.drivers[proc]
+            if isinstance(driver, BulkSCDriver):
+                bdm = self.bdms[proc]
+                colliding = bdm.disambiguate(signature)
+                if colliding:
+                    self.stats.bump("directory.displacement_squashes")
+                    oldest = min(colliding, key=lambda c: c.chunk_id)
+                    driver._squash_from(oldest, now)
+            # Invalidate (and write back if dirty) the cached copy.  A
+            # dirty non-speculative copy safely reaches memory; the
+            # committed image already holds its value.
+            line = self.coherence.l1s[proc].probe(line_addr)
+            if line is not None and line.dirty:
+                self.coherence.writeback_line(proc, line_addr)
+            self.coherence.invalidate_in_cache(proc, line_addr)
+
+    def _on_l1_eviction(self, proc: int, line_addr: int) -> None:
+        """Table 3 bookkeeping: displacement of speculatively-read lines."""
+        if not self.bdms:
+            return
+        for chunk in self.bdms[proc].active_chunks():
+            if chunk.is_active and line_addr in chunk.true_read_lines:
+                self.stats.bump(f"proc{proc}.spec_read_displacements")
+                return
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def driver_finished(self, driver: ProcessorDriver) -> None:
+        self._finished_count += 1
+
+    def run(self, max_cycles: Optional[float] = None) -> RunResult:
+        """Execute the workload to completion and collect results."""
+        for driver in self.drivers:
+            driver.start()
+        self.sim.run(until=max_cycles)
+        unfinished = [d.proc for d in self.drivers if d.state is not DriverState.FINISHED]
+        if unfinished and max_cycles is None:
+            details = {
+                d.proc: (d.state.value, d.thread.pc, str(d.thread.current_op()))
+                for d in self.drivers
+                if d.state is not DriverState.FINISHED
+            }
+            raise DeadlockError(
+                f"simulation drained with unfinished processors {unfinished}: {details}"
+            )
+        finish_times = [
+            driver.finish_time if driver.finish_time is not None else self.sim.now
+            for driver in self.drivers
+        ]
+        cycles = max(finish_times) if finish_times else self.sim.now
+        self._result = RunResult(
+            config=self.config,
+            cycles=cycles,
+            per_proc_finish=finish_times,
+            total_instructions=sum(t.retired_instructions for t in self.threads),
+            registers={t.proc: dict(t.registers) for t in self.threads},
+            stats=self.stats.snapshot(),
+            traffic_bytes=self.coherence.network.meter.breakdown(),
+            history=self.history,
+            memory=self.memory,
+            machine=self,
+        )
+        return self._result
+
+
+def run_workload(
+    config: SystemConfig,
+    programs: List[ThreadProgram],
+    address_space: AddressSpace,
+    record_history: bool = True,
+    max_cycles: Optional[float] = None,
+) -> RunResult:
+    """Build a machine, run it to completion, and return the result."""
+    machine = Machine(config, programs, address_space, record_history)
+    return machine.run(max_cycles)

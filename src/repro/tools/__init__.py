@@ -1,0 +1,30 @@
+"""Analysis and debugging tools layered on top of the simulator.
+
+* :mod:`repro.tools.chunk_trace` — record and render per-processor chunk
+  lifecycle timelines (start → close → grant → commit / squash).
+* :mod:`repro.tools.report` — turn a :class:`~repro.system.RunResult`
+  into a human-readable summary.
+* :mod:`repro.tools.export` — JSON/CSV export of runs, figure series,
+  and table rows for downstream analysis.
+"""
+
+from repro.tools.chunk_trace import ChunkTracer, TraceEvent
+from repro.tools.export import (
+    export_run_json,
+    export_series_csv,
+    export_table_csv,
+    load_run_json,
+    run_result_to_dict,
+)
+from repro.tools.report import summarize_run
+
+__all__ = [
+    "ChunkTracer",
+    "TraceEvent",
+    "summarize_run",
+    "export_run_json",
+    "export_series_csv",
+    "export_table_csv",
+    "load_run_json",
+    "run_result_to_dict",
+]

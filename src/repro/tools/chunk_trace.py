@@ -1,0 +1,152 @@
+"""Chunk lifecycle tracing.
+
+Attach a :class:`ChunkTracer` to a BulkSC machine *before* running and it
+records every chunk transition — useful both for debugging the protocol
+and for understanding a workload's commit/squash pattern:
+
+    machine = Machine(config, programs, space)
+    tracer = ChunkTracer.attach(machine)
+    machine.run()
+    print(tracer.render())
+
+The tracer works by wrapping the driver and commit-engine callbacks; the
+simulated machine's behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.chunk import Chunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import Machine
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One chunk transition."""
+
+    time: float
+    proc: int
+    chunk_id: int
+    event: str  # start | close | grant | commit | squash
+    detail: str = ""
+
+    def __str__(self) -> str:
+        base = f"[{self.time:10.1f}] p{self.proc} chunk#{self.chunk_id:<4d} {self.event}"
+        return f"{base} ({self.detail})" if self.detail else base
+
+
+class ChunkTracer:
+    """Records chunk lifecycle events from a BulkSC machine."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, machine: "Machine") -> "ChunkTracer":
+        """Instrument a (not yet run) BulkSC machine."""
+        from repro.core.driver import BulkSCDriver
+
+        tracer = cls(machine)
+        for driver in machine.drivers:
+            if isinstance(driver, BulkSCDriver):
+                tracer._wrap_driver(driver)
+        return tracer
+
+    def _wrap_driver(self, driver) -> None:
+        tracer = self
+
+        original_ensure = driver._ensure_chunk
+
+        def traced_ensure():
+            had = driver._current is not None
+            ok = original_ensure()
+            if ok and not had and driver._current is not None:
+                tracer._record(driver.proc, driver._current, "start")
+            return ok
+
+        driver._ensure_chunk = traced_ensure
+
+        original_close = driver._close_current
+
+        def traced_close(reason):
+            chunk = driver._current
+            original_close(reason)
+            if chunk is not None and not chunk.is_empty:
+                tracer._record(driver.proc, chunk, "close", reason)
+
+        driver._close_current = traced_close
+
+        original_granted = driver._on_chunk_granted
+
+        def traced_granted(chunk):
+            tracer._record(driver.proc, chunk, "grant")
+            original_granted(chunk)
+
+        driver._on_chunk_granted = traced_granted
+
+        original_committed = driver._on_chunk_committed
+
+        def traced_committed(chunk):
+            tracer._record(
+                driver.proc, chunk, "commit", f"{chunk.instructions} instr"
+            )
+            original_committed(chunk)
+
+        driver._on_chunk_committed = traced_committed
+
+        original_squash = driver._squash_from
+
+        def traced_squash(oldest, now):
+            for chunk in driver.bdm.active_chunks():
+                if chunk.is_active and chunk.chunk_id >= oldest.chunk_id:
+                    tracer._record(
+                        driver.proc, chunk, "squash", f"{chunk.instructions} instr lost"
+                    )
+            original_squash(oldest, now)
+
+        driver._squash_from = traced_squash
+
+    # ------------------------------------------------------------------
+    def _record(self, proc: int, chunk: Chunk, event: str, detail: str = "") -> None:
+        self.events.append(
+            TraceEvent(self.machine.sim.now, proc, chunk.chunk_id, event, detail)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_proc(self, proc: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.proc == proc]
+
+    def count(self, event: str, proc: Optional[int] = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if e.event == event and (proc is None or e.proc == proc)
+        )
+
+    def chunk_lifetime(self, proc: int, chunk_id: int) -> Optional[float]:
+        """Cycles from start to commit for one chunk, if it committed."""
+        start = commit = None
+        for e in self.events:
+            if e.proc == proc and e.chunk_id == chunk_id:
+                if e.event == "start" and start is None:
+                    start = e.time
+                elif e.event == "commit":
+                    commit = e.time
+        if start is None or commit is None:
+            return None
+        return commit - start
+
+    def render(self, limit: int = 200) -> str:
+        """A readable timeline of the first ``limit`` events."""
+        lines = [str(e) for e in self.events[:limit]]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

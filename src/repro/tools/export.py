@@ -1,0 +1,90 @@
+"""Export simulation results to JSON and CSV.
+
+Downstream analysis (plotting figures, comparing runs across machines)
+wants machine-readable artifacts rather than rendered tables.  These
+helpers flatten :class:`~repro.system.RunResult` objects and harness
+series into plain files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Sequence, Union
+
+from repro.system import RunResult
+
+PathLike = Union[str, Path]
+
+
+def run_result_to_dict(result: RunResult, include_proc_stats: bool = False) -> Dict:
+    """A JSON-serializable summary of one run."""
+    stats = {
+        name: value
+        for name, value in result.stats.items()
+        if include_proc_stats or not name.startswith("proc")
+    }
+    return {
+        "model": result.model_name,
+        "num_processors": result.config.num_processors,
+        "cycles": result.cycles,
+        "per_proc_finish": list(result.per_proc_finish),
+        "total_instructions": result.total_instructions,
+        "traffic_bytes": dict(result.traffic_bytes),
+        "stats": stats,
+    }
+
+
+def export_run_json(
+    result: RunResult, path: PathLike, include_proc_stats: bool = False
+) -> Path:
+    """Write one run's summary as JSON; returns the path written."""
+    path = Path(path)
+    payload = run_result_to_dict(result, include_proc_stats)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def export_series_csv(
+    series: Mapping[str, Mapping[str, float]],
+    path: PathLike,
+    value_name: str = "value",
+) -> Path:
+    """Write ``{config: {app: value}}`` (a figure series) as tidy CSV.
+
+    One row per (config, app) observation — the layout plotting libraries
+    and spreadsheets ingest directly.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["config", "app", value_name])
+        for config, values in series.items():
+            for app, value in values.items():
+                writer.writerow([config, app, value])
+    return path
+
+
+def export_table_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: PathLike,
+) -> Path:
+    """Write a list of homogeneous dict rows (e.g. Table 3/4 data) as CSV."""
+    path = Path(path)
+    rows = list(rows)
+    if not rows:
+        path.write_text("")
+        return path
+    fieldnames = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def load_run_json(path: PathLike) -> Dict:
+    """Read back a summary written by :func:`export_run_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,67 @@
+"""Human-readable run summaries."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.params import ConsistencyModelKind
+from repro.system import RunResult
+
+
+def _line(label: str, value: str) -> str:
+    return f"  {label:<32s} {value}"
+
+
+def summarize_run(result: RunResult) -> str:
+    """A compact report of what one simulation did.
+
+    Includes the model-independent basics (cycles, instructions, traffic)
+    and, for BulkSC runs, the chunk/commit/squash picture that the paper's
+    Tables 3-4 are built from.
+    """
+    procs = result.config.num_processors
+    lines: List[str] = []
+    lines.append(f"== {result.model_name} run ==")
+    lines.append(_line("cycles", f"{result.cycles:.0f}"))
+    lines.append(_line("instructions (retired)", str(result.total_instructions)))
+    if result.cycles > 0:
+        ipc = result.total_instructions / result.cycles / procs
+        lines.append(_line("IPC per processor", f"{ipc:.2f}"))
+    total_bytes = sum(result.traffic_bytes.values())
+    lines.append(_line("network traffic", f"{total_bytes} bytes"))
+    breakdown = ", ".join(
+        f"{name}={bytes_}" for name, bytes_ in result.traffic_bytes.items() if bytes_
+    )
+    lines.append(_line("traffic breakdown", breakdown or "none"))
+    if result.config.model is ConsistencyModelKind.BULKSC:
+        commits = result.stat("commit.visible")
+        empty_w = result.stat("commit.empty_w_commits")
+        squashes = sum(result.stat(f"proc{p}.chunk_squashes") for p in range(procs))
+        squashed = sum(
+            result.stat(f"proc{p}.squashed_instructions") for p in range(procs)
+        )
+        denials = result.stat("commit.denials")
+        lines.append(_line("chunk commits", f"{commits:.0f}"))
+        if commits:
+            lines.append(
+                _line(
+                    "empty-W commits",
+                    f"{empty_w:.0f} ({100 * empty_w / commits:.0f}%)",
+                )
+            )
+        lines.append(_line("chunk squashes", f"{squashes:.0f}"))
+        if result.total_instructions:
+            lines.append(
+                _line(
+                    "squashed instructions",
+                    f"{squashed:.0f} "
+                    f"({100 * squashed / result.total_instructions:.1f}%)",
+                )
+            )
+        lines.append(_line("commit denials", f"{denials:.0f}"))
+        lines.append(
+            _line("R signatures transferred", f"{result.stat('commit.r_signatures_sent'):.0f}")
+        )
+    if result.stat("io.operations"):
+        lines.append(_line("I/O operations", f"{result.stat('io.operations'):.0f}"))
+    return "\n".join(lines)

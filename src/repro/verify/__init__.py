@@ -1,0 +1,63 @@
+"""Execution-history recording and sequential-consistency checking.
+
+The models record every memory operation at the moment it becomes
+*globally visible* (SC: execution; RC: store-buffer drain; BulkSC: chunk
+commit).  :func:`~repro.verify.sc_checker.check_sequential_consistency`
+then validates the recorded global order as an SC witness: per-processor
+program order must be preserved and every load must return the value of
+the most recent preceding store.  Litmus tests exercise the classic
+weak-memory shapes (SB, SB+F, MP, LB, IRIW, CoRR, CoWW, WRC)
+against each model.
+"""
+
+from repro.verify.atomicity import (
+    AtomicityCheckResult,
+    check_chunk_atomicity,
+    chunk_blocks,
+)
+from repro.verify.history import ExecutionHistory, MemoryEvent
+from repro.verify.serializability import (
+    ConflictGraphStats,
+    SerializabilityResult,
+    build_precedence_graph,
+    check_conflict_serializability,
+    conflict_graph_stats,
+)
+from repro.verify.sc_checker import SCCheckResult, check_sequential_consistency
+from repro.verify.litmus import (
+    LitmusTest,
+    all_litmus_tests,
+    corr,
+    coww,
+    dekker_sb,
+    dekker_sb_fenced,
+    iriw,
+    load_buffering,
+    message_passing,
+    wrc,
+)
+
+__all__ = [
+    "ExecutionHistory",
+    "MemoryEvent",
+    "check_sequential_consistency",
+    "SCCheckResult",
+    "check_chunk_atomicity",
+    "AtomicityCheckResult",
+    "chunk_blocks",
+    "build_precedence_graph",
+    "check_conflict_serializability",
+    "conflict_graph_stats",
+    "ConflictGraphStats",
+    "SerializabilityResult",
+    "LitmusTest",
+    "dekker_sb",
+    "dekker_sb_fenced",
+    "message_passing",
+    "load_buffering",
+    "iriw",
+    "corr",
+    "coww",
+    "wrc",
+    "all_litmus_tests",
+]

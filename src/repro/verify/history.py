@@ -1,0 +1,78 @@
+"""Recording of globally visible memory operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class MemoryEvent:
+    """One memory operation at its global visibility point.
+
+    Attributes:
+        seq: Global visibility order (assigned by the history).
+        time: Simulated cycle of visibility.
+        proc: Issuing processor.
+        is_store: Store vs load.
+        word_addr: Word address accessed.
+        value: Value written (store) or returned (load).
+        program_index: The op's index in its thread program — used to
+            check per-processor program order.
+        chunk_id: BulkSC chunk the op committed with, if any.
+    """
+
+    seq: int
+    time: float
+    proc: int
+    is_store: bool
+    word_addr: int
+    value: int
+    program_index: int
+    chunk_id: Optional[int] = None
+
+
+class ExecutionHistory:
+    """An append-only log of visibility events.
+
+    Recording is optional (``enabled=False`` for large benchmark runs);
+    models must tolerate a disabled history.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: List[MemoryEvent] = []
+
+    def record(
+        self,
+        time: float,
+        proc: int,
+        is_store: bool,
+        word_addr: int,
+        value: int,
+        program_index: int,
+        chunk_id: Optional[int] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        self._events.append(
+            MemoryEvent(
+                seq=len(self._events),
+                time=time,
+                proc=proc,
+                is_store=is_store,
+                word_addr=word_addr,
+                value=value,
+                program_index=program_index,
+                chunk_id=chunk_id,
+            )
+        )
+
+    def events(self) -> Iterator[MemoryEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_for_proc(self, proc: int) -> List[MemoryEvent]:
+        return [event for event in self._events if event.proc == proc]

@@ -1,0 +1,256 @@
+"""Classic memory-model litmus tests.
+
+Each test supplies per-thread programs over a handful of shared variables
+and a predicate over the final register values that is **forbidden under
+SC**.  Running a test many times (different seeds stagger the threads)
+under a model and never observing the forbidden outcome — while the
+recorded history passes the SC witness check — is the behavioural
+evidence that the model enforces SC.  The RC baseline, by contrast,
+*does* exhibit the forbidden outcomes (store-buffer effects), which both
+validates the litmus harness and demonstrates the consistency gap BulkSC
+closes.
+
+Variables are placed on distinct cache lines by the harness; ``delays``
+lets the harness stagger threads with compute preambles to explore
+different interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Sequence
+
+from repro.cpu.isa import Compute, Fence, Load, Op, Store
+
+#: Final register state: proc -> register name -> value.
+RegisterState = Mapping[int, Mapping[str, int]]
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test.
+
+    Attributes:
+        name: Canonical name (SB, SB+F, MP, LB, IRIW, CoRR, CoWW, WRC).
+        description: What reordering the test detects.
+        variables: Shared variable names; the harness maps each to its own
+            cache line.
+        build: ``build(addrs) -> per-thread op lists`` where ``addrs`` maps
+            variable name to word address.
+        forbidden: Predicate over final registers, true iff the outcome is
+            impossible under SC.
+    """
+
+    name: str
+    description: str
+    variables: Sequence[str]
+    build: Callable[[Mapping[str, int]], List[List[Op]]]
+    forbidden: Callable[[RegisterState], bool]
+
+
+def dekker_sb() -> LitmusTest:
+    """Store Buffering: both processors read 0 only if stores are delayed."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x, y = addrs["x"], addrs["y"]
+        return [
+            [Store(x, 1), Load("r1", y)],
+            [Store(y, 1), Load("r2", x)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        return regs[0]["r1"] == 0 and regs[1]["r2"] == 0
+
+    return LitmusTest(
+        name="SB",
+        description="store buffering (Dekker): r1=0 and r2=0 forbidden under SC",
+        variables=("x", "y"),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def message_passing() -> LitmusTest:
+    """Message Passing: seeing the flag but missing the payload is non-SC."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        data, flag = addrs["x"], addrs["y"]
+        return [
+            [Store(data, 42), Store(flag, 1)],
+            [Load("r1", flag), Load("r2", data)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        return regs[1]["r1"] == 1 and regs[1]["r2"] == 0
+
+    return LitmusTest(
+        name="MP",
+        description="message passing: flag observed but stale payload forbidden",
+        variables=("x", "y"),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def load_buffering() -> LitmusTest:
+    """Load Buffering: both loads returning the other's store is non-SC."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x, y = addrs["x"], addrs["y"]
+        return [
+            [Load("r1", x), Store(y, 1)],
+            [Load("r2", y), Store(x, 1)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        return regs[0]["r1"] == 1 and regs[1]["r2"] == 1
+
+    return LitmusTest(
+        name="LB",
+        description="load buffering: r1=1 and r2=1 forbidden under SC",
+        variables=("x", "y"),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def iriw() -> LitmusTest:
+    """Independent Reads of Independent Writes: readers must agree on order."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x, y = addrs["x"], addrs["y"]
+        return [
+            [Store(x, 1)],
+            [Store(y, 1)],
+            [Load("r1", x), Load("r2", y)],
+            [Load("r3", y), Load("r4", x)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        return (
+            regs[2]["r1"] == 1
+            and regs[2]["r2"] == 0
+            and regs[3]["r3"] == 1
+            and regs[3]["r4"] == 0
+        )
+
+    return LitmusTest(
+        name="IRIW",
+        description="independent readers observing the two writes in opposite orders",
+        variables=("x", "y"),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def corr() -> LitmusTest:
+    """Coherence of Read-Read: a reader may not see a value then lose it."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x = addrs["x"]
+        return [
+            [Store(x, 1)],
+            [Load("r1", x), Compute(4), Load("r2", x)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        return regs[1]["r1"] == 1 and regs[1]["r2"] == 0
+
+    return LitmusTest(
+        name="CoRR",
+        description="read-read coherence: new value then old value forbidden",
+        variables=("x",),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def dekker_sb_fenced() -> LitmusTest:
+    """Store Buffering with full fences: forbidden even under RC.
+
+    The fence drains the store buffer before the load, so the classic SB
+    outcome must disappear — the litmus-level demonstration that RC code
+    with fences regains SC where it matters.
+    """
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x, y = addrs["x"], addrs["y"]
+        return [
+            [Store(x, 1), Fence(), Load("r1", y)],
+            [Store(y, 1), Fence(), Load("r2", x)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        return regs[0]["r1"] == 0 and regs[1]["r2"] == 0
+
+    return LitmusTest(
+        name="SB+F",
+        description="store buffering with fences: forbidden under RC too",
+        variables=("x", "y"),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def coww() -> LitmusTest:
+    """Coherence of Write-Write: a reader may not see writes reordered."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x = addrs["x"]
+        return [
+            [Store(x, 1), Store(x, 2)],
+            [Load("r1", x), Compute(4), Load("r2", x)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        # Seeing the final value then an earlier one is a coherence break.
+        return regs[1]["r1"] == 2 and regs[1]["r2"] == 1
+
+    return LitmusTest(
+        name="CoWW",
+        description="write-write coherence: 2-then-1 forbidden",
+        variables=("x",),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def wrc() -> LitmusTest:
+    """Write-to-Read Causality: observed writes must be cumulative."""
+
+    def build(addrs: Mapping[str, int]) -> List[List[Op]]:
+        x, y = addrs["x"], addrs["y"]
+        return [
+            [Store(x, 1)],
+            [Load("r1", x), Store(y, 1)],
+            [Load("r2", y), Compute(4), Load("r3", x)],
+        ]
+
+    def forbidden(regs: RegisterState) -> bool:
+        # T1 saw x=1 before writing y; T2 saw that y but stale x.
+        return (
+            regs[1]["r1"] == 1
+            and regs[2]["r2"] == 1
+            and regs[2]["r3"] == 0
+        )
+
+    return LitmusTest(
+        name="WRC",
+        description="write-to-read causality across three threads",
+        variables=("x", "y"),
+        build=build,
+        forbidden=forbidden,
+    )
+
+
+def all_litmus_tests() -> List[LitmusTest]:
+    """Every litmus test, in a stable order."""
+    return [
+        dekker_sb(),
+        message_passing(),
+        load_buffering(),
+        iriw(),
+        corr(),
+        coww(),
+        wrc(),
+    ]

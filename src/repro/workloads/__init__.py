@@ -1,0 +1,44 @@
+"""Workloads: thread-program construction and application profiles.
+
+The paper evaluates 11 SPLASH-2 applications plus SPECjbb2000 and
+SPECweb2005.  Those binaries (and the SESC/Simics toolchain that runs
+them) are not reproducible offline, so this package generates *synthetic
+trace programs* from per-application profiles calibrated against the
+statistics the paper itself publishes for each app (Tables 3-4: read/
+write/private-write set sizes, empty-W commit fractions, squash rates).
+The generators exercise exactly the code paths that drive every figure:
+private-vs-shared write classification, signature pressure, true sharing,
+lock and barrier synchronization.
+
+See DESIGN.md §5 for the substitution argument.
+"""
+
+from repro.workloads.program import ProgramBuilder, Workload
+from repro.workloads.profiles import AppProfile, SharingPattern
+from repro.workloads.synthetic import (
+    build_profile_workload,
+    false_sharing_workload,
+    lock_contention_workload,
+    partitioned_array_workload,
+    producer_consumer_workload,
+    work_queue_workload,
+)
+from repro.workloads.splash2 import SPLASH2_PROFILES, splash2_workload
+from repro.workloads.commercial import COMMERCIAL_PROFILES, commercial_workload
+
+__all__ = [
+    "ProgramBuilder",
+    "Workload",
+    "AppProfile",
+    "SharingPattern",
+    "build_profile_workload",
+    "partitioned_array_workload",
+    "producer_consumer_workload",
+    "lock_contention_workload",
+    "false_sharing_workload",
+    "work_queue_workload",
+    "SPLASH2_PROFILES",
+    "splash2_workload",
+    "COMMERCIAL_PROFILES",
+    "commercial_workload",
+]

@@ -1,0 +1,105 @@
+"""Application profiles: the knobs the synthetic generator understands.
+
+Each profile describes, per 1,000 dynamic instructions (one paper-default
+chunk), how a thread touches memory.  The values are calibrated against
+the per-application statistics the paper reports in Tables 3 and 4 —
+average read/write/private-write set sizes, the fraction of commits with
+an empty W signature, and the squash behaviour — so that the synthetic
+programs stress BulkSC the way the original applications did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+
+
+class SharingPattern(Enum):
+    """How shared accesses are distributed across the shared heap."""
+
+    #: Each thread works mostly in its own partition, reading a few lines
+    #: across partition boundaries (grid/nearest-neighbour codes).
+    PARTITIONED = "partitioned"
+    #: Threads read widely across the whole shared structure (tree walks,
+    #: scene databases) but write mostly their own partition.
+    READ_WIDE = "read_wide"
+    #: Writes scatter across the whole shared array (radix-style
+    #: permutation), maximizing signature pressure and aliasing.
+    SCATTER = "scatter"
+    #: Hot shared objects bounce between threads under locks
+    #: (transactional/commercial mixes).
+    MIGRATORY = "migratory"
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Per-application workload description.
+
+    Attributes (rates are per 1,000 dynamic instructions per thread):
+        name: Application name as it appears in the paper's tables.
+        shared_read_lines: Distinct shared lines read (paper "Read Set").
+        shared_write_lines: Mean distinct shared lines written per chunk
+            *averaged over all chunks* (paper "Write Set").
+        private_write_lines: Distinct private-data lines written (paper
+            "Priv. Write" set).
+        shared_write_frequency: Fraction of 1k-instruction intervals that
+            publish to shared data at all; with the mean held fixed this
+            sets the empty-W commit fraction (Table 4).
+        memory_fraction: Memory ops per dynamic instruction.
+        pattern: Spatial distribution of shared accesses.
+        hot_fraction: Fraction of shared accesses hitting the globally-hot
+            line set (true-sharing conflict source).
+        hot_lines: Size of the globally-hot line set.
+        partition_lines: Per-thread shared-partition footprint, in lines.
+        private_lines: Per-thread private working set, in lines.
+        locks: Number of distinct locks; 0 disables critical sections.
+        lock_interval: 1k-intervals between critical sections per thread.
+        barrier_phases: Barrier-separated phases (SPLASH-style).
+        stack_fraction: Fraction of private accesses going to the stack
+            region (what BSCstpvt can classify statically; "radix has very
+            few stack references").
+        private_turnover: Lines per interval by which the hot private
+            working-set window drifts.  Drifted-into lines are not yet
+            dirty, so their first write lands in W — the small residual W
+            pollution the dynamically-private scheme cannot remove.
+    """
+
+    name: str
+    shared_read_lines: float = 25.0
+    shared_write_lines: float = 1.5
+    private_write_lines: float = 13.0
+    shared_write_frequency: float = 0.15
+    memory_fraction: float = 0.30
+    pattern: SharingPattern = SharingPattern.PARTITIONED
+    hot_fraction: float = 0.02
+    hot_lines: int = 16
+    partition_lines: int = 2048
+    private_lines: int = 256
+    locks: int = 4
+    lock_interval: int = 8
+    barrier_phases: int = 2
+    stack_fraction: float = 0.7
+    private_turnover: float = 0.3
+    critical_section_lines: int = 2
+
+    def validate(self) -> "AppProfile":
+        if not 0 < self.memory_fraction < 1:
+            raise ConfigError(f"{self.name}: memory_fraction out of range")
+        if not 0 <= self.shared_write_frequency <= 1:
+            raise ConfigError(f"{self.name}: shared_write_frequency out of range")
+        if not 0 <= self.hot_fraction <= 1:
+            raise ConfigError(f"{self.name}: hot_fraction out of range")
+        if not 0 <= self.stack_fraction <= 1:
+            raise ConfigError(f"{self.name}: stack_fraction out of range")
+        if self.partition_lines < 1 or self.private_lines < 1:
+            raise ConfigError(f"{self.name}: footprints must be positive")
+        return self
+
+    @property
+    def writes_per_publishing_interval(self) -> float:
+        """Distinct shared lines written in an interval that publishes."""
+        if self.shared_write_frequency <= 0:
+            return 0.0
+        return self.shared_write_lines / self.shared_write_frequency

@@ -1,0 +1,126 @@
+"""Program construction helpers and the Workload container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.isa import (
+    Barrier,
+    Compute,
+    Fence,
+    Io,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Op,
+    Operand,
+    SpinUntil,
+    Store,
+)
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressSpace
+
+
+class ProgramBuilder:
+    """Fluent construction of one thread's op sequence."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._ops: List[Op] = []
+        self._reg_counter = 0
+
+    # -- basic ops ------------------------------------------------------
+    def load(self, addr: int, reg: Optional[str] = None) -> "ProgramBuilder":
+        if reg is None:
+            self._reg_counter += 1
+            reg = f"t{self._reg_counter}"
+        self._ops.append(Load(reg, addr))
+        return self
+
+    def store(self, addr: int, value: Operand) -> "ProgramBuilder":
+        self._ops.append(Store(addr, value))
+        return self
+
+    def compute(self, count: int) -> "ProgramBuilder":
+        if count > 0:
+            self._ops.append(Compute(count))
+        return self
+
+    def acquire(self, lock_addr: int) -> "ProgramBuilder":
+        self._ops.append(LockAcquire(lock_addr))
+        return self
+
+    def release(self, lock_addr: int) -> "ProgramBuilder":
+        self._ops.append(LockRelease(lock_addr))
+        return self
+
+    def barrier(self, barrier_id: int, participants: int) -> "ProgramBuilder":
+        self._ops.append(Barrier(barrier_id, participants))
+        return self
+
+    def fence(self) -> "ProgramBuilder":
+        self._ops.append(Fence())
+        return self
+
+    def spin_until(self, addr: int, value: int) -> "ProgramBuilder":
+        self._ops.append(SpinUntil(addr, value))
+        return self
+
+    def io(self, device: int, value: Operand) -> "ProgramBuilder":
+        self._ops.append(Io(device, value))
+        return self
+
+    # -- composite idioms -------------------------------------------------
+    def read_modify_write(self, addr: int, addend: int = 1) -> "ProgramBuilder":
+        """Unsynchronized increment: load, compute, store reg+addend."""
+        self._reg_counter += 1
+        reg = f"t{self._reg_counter}"
+        self._ops.append(Load(reg, addr))
+        self._ops.append(Compute(2))
+        from repro.cpu.isa import RegPlus
+
+        self._ops.append(Store(addr, RegPlus(reg, addend)))
+        return self
+
+    def critical_section(
+        self, lock_addr: int, body: List[Op]
+    ) -> "ProgramBuilder":
+        self.acquire(lock_addr)
+        self._ops.extend(body)
+        self.release(lock_addr)
+        return self
+
+    # -- finalization ----------------------------------------------------
+    def ops(self) -> List[Op]:
+        return list(self._ops)
+
+    def build(self) -> ThreadProgram:
+        return ThreadProgram(self._ops, name=self.name)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+
+@dataclass
+class Workload:
+    """A named set of thread programs over a laid-out address space."""
+
+    name: str
+    programs: List[ThreadProgram]
+    address_space: AddressSpace
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.programs)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(p.total_instructions for p in self.programs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Workload {self.name!r} threads={self.num_threads} "
+            f"instructions={self.total_instructions}>"
+        )

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import (
+    SignatureConfig,
+    SystemConfig,
+    bsc_base,
+    bsc_dypvt,
+    bsc_exact,
+    bsc_stpvt,
+    paper_config,
+    rc_config,
+    sc_config,
+    scpp_config,
+)
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """The paper's Table 2 machine."""
+    return paper_config()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A 4-processor machine for faster integration tests."""
+    from dataclasses import replace
+
+    return replace(paper_config(), num_processors=4).validate()
+
+
+@pytest.fixture(
+    params=["SC", "RC", "SC++", "BSCdypvt"],
+    ids=["sc", "rc", "scpp", "bulksc"],
+)
+def any_model_config(request) -> SystemConfig:
+    """One config per consistency model."""
+    factories = {
+        "SC": sc_config,
+        "RC": rc_config,
+        "SC++": scpp_config,
+        "BSCdypvt": bsc_dypvt,
+    }
+    return factories[request.param]()
+
+
+@pytest.fixture(
+    params=["BSCbase", "BSCdypvt", "BSCstpvt", "BSCexact"],
+    ids=["base", "dypvt", "stpvt", "exact"],
+)
+def any_bulksc_config(request) -> SystemConfig:
+    factories = {
+        "BSCbase": bsc_base,
+        "BSCdypvt": bsc_dypvt,
+        "BSCstpvt": bsc_stpvt,
+        "BSCexact": bsc_exact,
+    }
+    return factories[request.param]()
+
+
+@pytest.fixture
+def signature_config() -> SignatureConfig:
+    return SignatureConfig()

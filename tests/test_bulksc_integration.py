@@ -1,0 +1,262 @@
+"""Integration tests for the BulkSC core: chunks, commits, squashes,
+private data, synchronization, forward progress."""
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, LockAcquire, LockRelease, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import (
+    PrivateDataMode,
+    bsc_base,
+    bsc_dypvt,
+    bsc_exact,
+    bsc_stpvt,
+)
+from repro.system import Machine, run_workload
+from repro.verify.sc_checker import check_sequential_consistency
+
+
+def make_space(config, private_regions=0):
+    space = AddressSpace(
+        AddressMap(config.memory.words_per_line, config.num_directories)
+    )
+    space.allocate("shared", 8192)
+    for proc in range(private_regions):
+        space.allocate(f"stack_{proc}", 256, private_to=proc)
+    return space
+
+
+def run_ops(config, programs_ops, private_regions=0, record_history=True):
+    space = make_space(config, private_regions)
+    programs = [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(programs_ops)]
+    return run_workload(config, programs, space, record_history=record_history)
+
+
+class TestChunkLifecycle:
+    def test_single_chunk_commits(self):
+        result = run_ops(bsc_dypvt(), [[Store(8, 1), Load("r", 8)]])
+        assert result.registers[0]["r"] == 1
+        assert result.memory.peek(8) == 1
+        assert result.stat("commit.visible") >= 1
+
+    def test_chunk_size_limit_closes_chunks(self):
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=50)
+        ops = [Compute(20) for __ in range(10)]
+        result = run_ops(cfg, [ops])
+        assert result.stat("proc0.chunks_closed.size") >= 2
+
+    def test_stores_buffer_until_commit(self):
+        """Rule 1: updates invisible until the chunk commits."""
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=10_000)
+        machine = Machine(
+            cfg,
+            [ThreadProgram([Store(8, 7), Compute(5000)])],
+            make_space(cfg),
+        )
+        for driver in machine.drivers:
+            driver.start()
+        # Run just past the store but before the chunk ends: the value is
+        # in the chunk buffer, not the global image.
+        machine.sim.run(until=100.0)
+        assert machine.threads[0].pc > 0  # the store executed
+        assert machine.memory.peek(8) == 0
+        machine.sim.run()  # chunk closes at program end and commits
+        assert machine.memory.peek(8) == 7
+
+    def test_local_forwarding_within_chunk(self):
+        result = run_ops(bsc_dypvt(), [[Store(8, 3), Load("r", 8), Compute(5)]])
+        assert result.registers[0]["r"] == 3
+
+    def test_cross_chunk_forwarding(self):
+        """A successor chunk reads a predecessor's uncommitted store."""
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=8)
+        ops = [Store(8, 9), Compute(20), Load("r", 8)]
+        result = run_ops(cfg, [ops])
+        assert result.registers[0]["r"] == 9
+        assert result.stat("bdm0.forwards") >= 0  # logged when split occurs
+
+    def test_multiple_chunks_overlap(self):
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=30)
+        ops = []
+        for i in range(40):
+            ops.append(Store(8 * 64 * (i % 16), i))
+            ops.append(Compute(10))
+        result = run_ops(cfg, [ops])
+        assert result.stat("proc0.chunk_commits") >= 5
+
+
+class TestDisambiguationAndSquash:
+    def test_conflicting_writers_squash_and_stay_sc(self):
+        shared = 8 * 8
+        writer = [Store(shared, 1), Compute(30), Store(shared, 2)]
+        reader = [Load("a", shared), Compute(30), Load("b", shared)]
+        for seed in range(4):
+            result = run_ops(bsc_dypvt(seed=seed), [writer, reader])
+            assert check_sequential_consistency(result.history).ok
+
+    def test_squash_statistics_recorded(self):
+        """Two processors hammering one line must squash someone."""
+        shared = 64
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=40)
+        programs = []
+        for proc in range(2):
+            ops = []
+            for i in range(30):
+                ops.append(Store(shared, proc * 100 + i))
+                ops.append(Compute(15))
+            programs.append(ops)
+        total_squashes = 0
+        for seed in range(3):
+            result = run_ops(bsc_dypvt(seed=seed), programs)
+            total_squashes += sum(
+                result.stat(f"proc{p}.chunk_squashes") for p in range(2)
+            )
+            assert check_sequential_consistency(result.history).ok
+        assert total_squashes > 0
+
+    def test_dir_filter_never_misses(self):
+        shared = 64
+        programs = []
+        for proc in range(4):
+            ops = []
+            for i in range(20):
+                ops.append(Store(shared + proc * 8, i))
+                ops.append(Load("r", shared))
+                ops.append(Compute(20))
+            programs.append(ops)
+        for seed in range(3):
+            result = run_ops(bsc_dypvt(seed=seed), programs)
+            missed = sum(
+                result.stat(f"proc{p}.squashes_missed_by_dir_filter")
+                for p in range(4)
+            )
+            assert missed == 0
+
+
+class TestPrivateData:
+    def _private_heavy_program(self):
+        """Re-writes one private line across many chunks."""
+        ops = []
+        for i in range(1, 30):
+            ops.append(Store(8, i))
+            ops.append(Compute(40))
+        return ops
+
+    def test_dynamic_private_produces_empty_w(self):
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=60)
+        result = run_ops(cfg, [self._private_heavy_program()])
+        assert result.stat("commit.empty_w_commits") >= 1
+
+    def test_base_writes_back_first_writes(self):
+        cfg = bsc_base().with_bulksc(chunk_size_instructions=60)
+        result = run_ops(cfg, [self._private_heavy_program()])
+        assert result.stat("proc0.first_write_writebacks") >= 1
+        assert result.stat("commit.empty_w_commits") == 0
+
+    def test_dypvt_final_value_correct(self):
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=60)
+        result = run_ops(cfg, [self._private_heavy_program()])
+        assert result.memory.peek(8) == 29
+
+    def test_private_buffer_intervention(self):
+        """Another processor requesting a dynamically-private line gets
+        the old value; the address re-enters W."""
+        owner = []
+        for i in range(1, 25):
+            owner.append(Store(8, i))
+            owner.append(Compute(30))
+        prober = [Compute(800), Load("r", 8), Compute(10)]
+        supplies = 0
+        for seed in range(5):
+            cfg = bsc_dypvt(seed=seed).with_bulksc(chunk_size_instructions=80)
+            result = run_ops(cfg, [owner, prober])
+            supplies += result.stat("proc0.data_from_private_buffer")
+            assert check_sequential_consistency(result.history).ok
+        assert supplies >= 1
+
+    def test_static_private_uses_wpriv(self):
+        cfg = bsc_stpvt()
+        space = make_space(cfg, private_regions=1)
+        stack = space.region("stack_0").start_word
+        ops = []
+        for i in range(1, 20):
+            ops.append(Store(stack, i))
+            ops.append(Compute(30))
+        result = run_workload(cfg, [ThreadProgram(ops)], space)
+        assert result.stat("commit.empty_w_commits") >= 1
+        assert result.memory.peek(stack) == 19
+
+    def test_static_private_skips_r_pollution(self):
+        cfg = bsc_stpvt()
+        space = make_space(cfg, private_regions=1)
+        stack = space.region("stack_0").start_word
+        ops = [Store(stack, 1)] + [Load("r", stack) for __ in range(10)]
+        result = run_workload(cfg, [ThreadProgram(ops)], space)
+        # The only chunk had an empty R for arbitration purposes: the
+        # commit went through with W empty as well.
+        assert result.stat("commit.empty_w_commits") >= 1
+
+
+class TestSynchronizationInChunks:
+    def test_lock_winner_squashes_loser(self):
+        """Figure 6: both enter the critical section; first commit wins."""
+        lock = 0
+        counter = 8
+        def proc_ops(proc):
+            return [
+                Compute(5 + proc * 3),
+                LockAcquire(lock),
+                Load(f"c{proc}", counter),
+                Compute(4),
+                Store(counter, 100 + proc),
+                LockRelease(lock),
+                Compute(10),
+            ]
+        for seed in range(4):
+            result = run_ops(bsc_dypvt(seed=seed), [proc_ops(0), proc_ops(1)])
+            assert check_sequential_consistency(result.history).ok
+            assert result.memory.peek(lock) == 0  # both released
+            assert result.memory.peek(counter) in (100, 101)
+
+    def test_spinning_processor_wakes_on_release_commit(self):
+        lock = 0
+        holder = [LockAcquire(lock), Compute(600), LockRelease(lock)]
+        waiter = [Compute(50), LockAcquire(lock), LockRelease(lock)]
+        result = run_ops(bsc_dypvt(), [holder, waiter])
+        assert result.memory.peek(lock) == 0
+
+    def test_exponential_shrink_under_contention(self):
+        """Repeated squashes shrink chunks (forward progress measure 1)."""
+        shared = 8
+        programs = []
+        for proc in range(4):
+            ops = [Compute(3 + proc)]
+            for i in range(25):
+                ops.append(Load(f"r{i}", shared))
+                ops.append(Store(shared, i))
+                ops.append(Compute(8))
+            programs.append(ops)
+        shrinks = 0
+        for seed in range(3):
+            machine = Machine(
+                bsc_dypvt(seed=seed).with_bulksc(chunk_size_instructions=120),
+                [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(programs)],
+                make_space(bsc_dypvt()),
+            )
+            machine.run()
+            shrinks += sum(d.policy.shrinks for d in machine.drivers)
+        assert shrinks > 0
+
+
+class TestDrainAtProgramEnd:
+    def test_final_chunk_commits_before_finish(self):
+        result = run_ops(bsc_dypvt(), [[Store(8, 5)]])
+        assert result.memory.peek(8) == 5
+
+    def test_all_processors_finish(self):
+        programs = [[Store(8 * p, p), Compute(50)] for p in range(8)]
+        result = run_ops(bsc_dypvt(), programs)
+        assert all(t >= 0 for t in result.per_proc_finish)
+        for p in range(8):
+            assert result.memory.peek(8 * p) == p

@@ -1,0 +1,154 @@
+"""Tests for the centralized commit arbiter (Section 4.2)."""
+
+import pytest
+
+from repro.core.arbiter import Arbiter
+from repro.errors import ProtocolError
+from repro.params import BulkSCConfig
+from repro.signatures.exact import ExactSignature
+
+
+def sig(*lines):
+    s = ExactSignature()
+    s.insert_all(lines)
+    return s
+
+
+@pytest.fixture
+def arbiter():
+    return Arbiter(BulkSCConfig())
+
+
+class TestEmptyList:
+    def test_grants_immediately_without_r(self, arbiter):
+        """RSig: when the W list is empty, R is never needed."""
+        decision = arbiter.decide(0, sig(1), r_sig=None, now=0.0)
+        assert decision.granted
+        assert not decision.needs_r_signature
+
+    def test_empty_w_never_enters_list(self, arbiter):
+        decision = arbiter.decide(0, sig(), None, 0.0)
+        assert decision.granted
+        arbiter.admit(1, 0, sig(), 0.0)
+        assert arbiter.list_empty
+
+
+class TestRSigProtocol:
+    def test_nonempty_list_requests_r(self, arbiter):
+        arbiter.admit(1, 0, sig(1), 0.0)
+        decision = arbiter.decide(1, sig(2), r_sig=None, now=1.0)
+        assert not decision.granted
+        assert decision.needs_r_signature
+
+    def test_with_r_and_no_collision_grants(self, arbiter):
+        arbiter.admit(1, 0, sig(1), 0.0)
+        decision = arbiter.decide(1, sig(2), r_sig=sig(3), now=1.0)
+        assert decision.granted
+
+    def test_rsig_disabled_decides_without_extra_round(self):
+        arbiter = Arbiter(BulkSCConfig(rsig_optimization=False))
+        arbiter.admit(1, 0, sig(1), 0.0)
+        decision = arbiter.decide(1, sig(2), r_sig=sig(3), now=1.0)
+        assert decision.granted
+
+
+class TestCollisionChecks:
+    def test_r_collision_denied(self, arbiter):
+        """Figure 4(b): a chunk that read a committing line must wait."""
+        arbiter.admit(1, 0, sig(10), 0.0)
+        decision = arbiter.decide(1, sig(2), r_sig=sig(10), now=1.0)
+        assert not decision.granted
+        assert "R collides" in decision.reason
+
+    def test_w_collision_denied(self, arbiter):
+        arbiter.admit(1, 0, sig(10), 0.0)
+        decision = arbiter.decide(1, sig(10), r_sig=sig(), now=1.0)
+        assert not decision.granted
+        assert "W collides" in decision.reason
+
+    def test_disjoint_commits_overlap(self, arbiter):
+        """Non-overlapping W signatures commit concurrently."""
+        arbiter.admit(1, 0, sig(10), 0.0)
+        arbiter.admit(2, 1, sig(20), 0.0)
+        decision = arbiter.decide(2, sig(30), r_sig=sig(31), now=1.0)
+        assert decision.granted
+        assert arbiter.pending_count == 2
+
+    def test_release_unblocks(self, arbiter):
+        arbiter.admit(1, 0, sig(10), 0.0)
+        arbiter.release(1, 5.0)
+        decision = arbiter.decide(1, sig(10), r_sig=None, now=6.0)
+        assert decision.granted
+
+
+class TestCapacity:
+    def test_max_simultaneous_commits(self):
+        arbiter = Arbiter(BulkSCConfig(max_simultaneous_commits=2))
+        arbiter.admit(1, 0, sig(1), 0.0)
+        arbiter.admit(2, 1, sig(2), 0.0)
+        decision = arbiter.decide(2, sig(3), r_sig=sig(4), now=1.0)
+        assert not decision.granted
+        assert "capacity" in decision.reason
+
+    def test_duplicate_admit_raises(self, arbiter):
+        arbiter.admit(1, 0, sig(1), 0.0)
+        with pytest.raises(ProtocolError):
+            arbiter.admit(1, 0, sig(2), 0.0)
+
+
+class TestPreArbitration:
+    def test_reservation_blocks_others(self, arbiter):
+        assert arbiter.reserve(3)
+        decision = arbiter.decide(0, sig(1), None, 0.0)
+        assert not decision.granted
+        assert "pre-arbitration" in decision.reason
+
+    def test_reserving_processor_still_commits(self, arbiter):
+        arbiter.reserve(3)
+        decision = arbiter.decide(3, sig(1), None, 0.0)
+        assert decision.granted
+
+    def test_second_reservation_denied(self, arbiter):
+        assert arbiter.reserve(3)
+        assert not arbiter.reserve(4)
+        assert arbiter.reserve(3)  # re-entrant for same proc
+
+    def test_clear_reservation(self, arbiter):
+        arbiter.reserve(3)
+        arbiter.clear_reservation(3)
+        assert arbiter.decide(0, sig(1), None, 0.0).granted
+
+    def test_clear_by_wrong_proc_ignored(self, arbiter):
+        arbiter.reserve(3)
+        arbiter.clear_reservation(5)
+        assert arbiter.reserved_by == 3
+
+
+class TestNaiveSerialization:
+    """The Section 3.2.1 naive design: one commit at a time."""
+
+    def test_naive_denies_any_concurrent_commit(self):
+        arbiter = Arbiter(BulkSCConfig(serialize_commits=True))
+        arbiter.admit(1, 0, sig(10), 0.0)
+        decision = arbiter.decide(1, sig(20), r_sig=sig(30), now=1.0)
+        assert not decision.granted
+        assert "naive" in decision.reason
+
+    def test_naive_grants_when_idle(self):
+        arbiter = Arbiter(BulkSCConfig(serialize_commits=True))
+        assert arbiter.decide(0, sig(1), None, 0.0).granted
+
+    def test_advanced_overlaps_disjoint_commits(self):
+        arbiter = Arbiter(BulkSCConfig(serialize_commits=False))
+        arbiter.admit(1, 0, sig(10), 0.0)
+        assert arbiter.decide(1, sig(20), sig(30), 1.0).granted
+
+
+class TestAbort:
+    def test_abort_removes_w(self, arbiter):
+        arbiter.admit(1, 0, sig(10), 0.0)
+        arbiter.abort(1, 1.0)
+        assert arbiter.list_empty
+
+    def test_abort_unknown_commit_is_noop(self, arbiter):
+        arbiter.abort(99, 0.0)

@@ -1,0 +1,65 @@
+"""Tests for the chunk-boundary policy and forward progress."""
+
+from repro.core.chunking import ChunkingPolicy
+from repro.params import BulkSCConfig
+
+
+def make_policy(**kwargs):
+    return ChunkingPolicy(BulkSCConfig(**kwargs))
+
+
+class TestSizing:
+    def test_default_target_is_paper_chunk_size(self):
+        assert make_policy().target_instructions == 1000
+
+    def test_should_close_at_target(self):
+        policy = make_policy()
+        assert not policy.should_close(999)
+        assert policy.should_close(1000)
+        assert policy.should_close(1500)
+
+
+class TestExponentialShrink:
+    def test_each_squash_halves_target(self):
+        policy = make_policy()
+        policy.note_squash()
+        assert policy.target_instructions == 500
+        policy.note_squash()
+        assert policy.target_instructions == 250
+
+    def test_shrink_has_floor(self):
+        policy = make_policy()
+        for __ in range(30):
+            policy.note_squash()
+        assert policy.target_instructions >= ChunkingPolicy.MIN_CHUNK_INSTRUCTIONS
+
+    def test_commit_restores_full_size(self):
+        policy = make_policy()
+        policy.note_squash()
+        policy.note_squash()
+        policy.note_commit()
+        assert policy.target_instructions == 1000
+        assert policy.consecutive_squashes == 0
+
+    def test_custom_shrink_factor(self):
+        policy = make_policy(squash_shrink_factor=4)
+        policy.note_squash()
+        assert policy.target_instructions == 250
+
+
+class TestPreArbitration:
+    def test_triggers_after_threshold(self):
+        policy = make_policy(prearbitrate_after_squashes=3)
+        for __ in range(2):
+            policy.note_squash()
+        assert not policy.wants_prearbitration
+        policy.note_squash()
+        assert policy.wants_prearbitration
+
+    def test_commit_clears_escalation(self):
+        policy = make_policy(prearbitrate_after_squashes=2)
+        policy.note_squash()
+        policy.note_squash()
+        assert policy.wants_prearbitration
+        policy.note_commit()
+        assert not policy.wants_prearbitration

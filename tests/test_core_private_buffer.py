@@ -1,0 +1,79 @@
+"""Tests for the Private Buffer (Section 5.2)."""
+
+import pytest
+
+from repro.core.private_data import PrivateBuffer
+
+
+def test_insert_and_supply():
+    buffer = PrivateBuffer(4)
+    buffer.insert(10, {80: 1, 81: 2})
+    image = buffer.supply(10)
+    assert image == {80: 1, 81: 2}
+    assert 10 not in buffer
+
+
+def test_supply_missing_returns_none():
+    assert PrivateBuffer(4).supply(99) is None
+
+
+def test_only_first_update_saves_pre_image():
+    buffer = PrivateBuffer(4)
+    buffer.insert(10, {80: 1})
+    buffer.insert(10, {80: 999})  # no-op: already parked
+    assert buffer.supply(10) == {80: 1}
+    assert buffer.inserts == 1
+
+
+def test_overflow_evicts_oldest_fifo():
+    buffer = PrivateBuffer(2)
+    buffer.insert(1, {8: 1})
+    buffer.insert(2, {16: 2})
+    evicted = buffer.insert(3, {24: 3})
+    assert evicted == (1, {8: 1})
+    assert buffer.overflows == 1
+    assert 2 in buffer and 3 in buffer
+
+
+def test_capacity_default_matches_paper():
+    """~24 lines is 'typically enough' per the paper."""
+    assert PrivateBuffer().capacity == 24
+
+
+def test_drain_clears_everything():
+    buffer = PrivateBuffer(4)
+    buffer.insert(1, {8: 1})
+    buffer.insert(2, {16: 2})
+    items = buffer.drain()
+    assert [line for line, __ in items] == [1, 2]
+    assert len(buffer) == 0
+
+
+def test_drop_specific_line():
+    buffer = PrivateBuffer(4)
+    buffer.insert(1, {8: 1})
+    buffer.drop(1)
+    buffer.drop(99)  # noop
+    assert len(buffer) == 0
+
+
+def test_peak_occupancy_and_supply_counters():
+    buffer = PrivateBuffer(4)
+    buffer.insert(1, {})
+    buffer.insert(2, {})
+    buffer.supply(1)
+    assert buffer.peak_occupancy == 2
+    assert buffer.external_supplies == 1
+
+
+def test_pre_image_is_copied():
+    buffer = PrivateBuffer(4)
+    image = {8: 1}
+    buffer.insert(1, image)
+    image[8] = 999
+    assert buffer.supply(1) == {8: 1}
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        PrivateBuffer(0)

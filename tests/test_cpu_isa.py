@@ -1,0 +1,75 @@
+"""Tests for the micro-op vocabulary."""
+
+import pytest
+
+from repro.cpu.isa import (
+    Barrier,
+    Compute,
+    Fence,
+    Load,
+    LockAcquire,
+    LockRelease,
+    OpKind,
+    Reg,
+    RegPlus,
+    SpinUntil,
+    Store,
+    resolve_operand,
+)
+from repro.errors import ProgramError
+
+
+class TestOperands:
+    def test_int_literal(self):
+        assert resolve_operand(42, {}) == 42
+
+    def test_register(self):
+        assert resolve_operand(Reg("r1"), {"r1": 7}) == 7
+
+    def test_register_plus(self):
+        assert resolve_operand(RegPlus("r1", 3), {"r1": 7}) == 10
+
+    def test_unwritten_register_raises(self):
+        with pytest.raises(ProgramError):
+            resolve_operand(Reg("missing"), {})
+        with pytest.raises(ProgramError):
+            resolve_operand(RegPlus("missing", 1), {})
+
+    def test_unknown_operand_raises(self):
+        with pytest.raises(ProgramError):
+            resolve_operand(object(), {})
+
+
+class TestOpProperties:
+    def test_memory_ops(self):
+        assert Load("r", 0).is_memory
+        assert Store(0, 1).is_memory
+        assert LockAcquire(0).is_memory
+        assert LockRelease(0).is_memory
+        assert SpinUntil(0, 1).is_memory
+
+    def test_non_memory_ops(self):
+        assert not Compute(5).is_memory
+        assert not Barrier(0, 8).is_memory
+        assert not Fence().is_memory
+
+    def test_instruction_counts(self):
+        assert Load("r", 0).instruction_count == 1
+        assert Compute(17).instruction_count == 17
+        assert LockAcquire(0).instruction_count == 2  # load + cond. store
+        assert Fence().instruction_count == 1
+
+    def test_kinds(self):
+        assert Load("r", 0).kind is OpKind.LOAD
+        assert Store(0, 0).kind is OpKind.STORE
+        assert Compute(1).kind is OpKind.COMPUTE
+        assert LockAcquire(0).kind is OpKind.ACQUIRE
+        assert LockRelease(0).kind is OpKind.RELEASE
+        assert Barrier(0, 2).kind is OpKind.BARRIER
+        assert Fence().kind is OpKind.FENCE
+        assert SpinUntil(0, 1).kind is OpKind.SPIN_UNTIL
+
+    def test_ops_are_immutable(self):
+        op = Load("r", 5)
+        with pytest.raises(AttributeError):
+            op.addr = 6

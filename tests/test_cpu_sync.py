@@ -1,0 +1,92 @@
+"""Tests for barrier counting and address watches."""
+
+import pytest
+
+from repro.cpu.sync import SyncManager
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def sync(sim):
+    return SyncManager(sim)
+
+
+class TestBarriers:
+    def test_release_fires_when_all_arrive(self, sim, sync):
+        released = []
+        for proc in range(3):
+            sync.arrive_barrier(1, 3, proc, lambda p=proc: released.append(p))
+        sim.run()
+        assert sorted(released) == [0, 1, 2]
+
+    def test_no_release_until_last(self, sim, sync):
+        released = []
+        sync.arrive_barrier(1, 3, 0, lambda: released.append(0))
+        sync.arrive_barrier(1, 3, 1, lambda: released.append(1))
+        sim.run()
+        assert released == []
+
+    def test_barriers_are_reusable_across_generations(self, sim, sync):
+        log = []
+        for gen in range(2):
+            for proc in range(2):
+                sync.arrive_barrier(5, 2, proc, lambda g=gen: log.append(g))
+            sim.run()
+        assert log == [0, 0, 1, 1]
+
+    def test_release_has_wake_latency(self, sim, sync):
+        times = []
+        for proc in range(2):
+            sync.arrive_barrier(1, 2, proc, lambda: times.append(sim.now))
+        sim.run()
+        assert all(t == SyncManager.WAKE_LATENCY for t in times)
+
+    def test_inconsistent_participants_raises(self, sync):
+        sync.arrive_barrier(1, 3, 0, lambda: None)
+        with pytest.raises(SimulationError):
+            sync.arrive_barrier(1, 4, 1, lambda: None)
+
+
+class TestWatches:
+    def test_wake_on_matching_write(self, sim, sync):
+        woken = []
+        sync.watch(100, 0, lambda v: v == 1, lambda: woken.append(sim.now))
+        sync.notify_write(100, 0)  # predicate fails
+        sync.notify_write(100, 1)  # fires
+        sim.run()
+        assert len(woken) == 1
+
+    def test_watch_is_one_shot(self, sim, sync):
+        woken = []
+        sync.watch(100, 0, lambda v: v == 1, lambda: woken.append(1))
+        sync.notify_write(100, 1)
+        sync.notify_write(100, 1)
+        sim.run()
+        assert woken == [1]
+
+    def test_unrelated_address_does_not_wake(self, sim, sync):
+        woken = []
+        sync.watch(100, 0, lambda v: True, lambda: woken.append(1))
+        sync.notify_write(101, 1)
+        sim.run()
+        assert woken == []
+
+    def test_multiple_watchers_same_address(self, sim, sync):
+        woken = []
+        sync.watch(100, 0, lambda v: v == 1, lambda: woken.append("a"))
+        sync.watch(100, 1, lambda v: v == 2, lambda: woken.append("b"))
+        sync.notify_write(100, 1)
+        sim.run()
+        assert woken == ["a"]
+        assert sync.waiting_on(100) == 1
+
+    def test_any_waiters(self, sync):
+        assert not sync.any_waiters()
+        sync.watch(1, 0, lambda v: True, lambda: None)
+        assert sync.any_waiters()

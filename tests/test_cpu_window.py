@@ -1,0 +1,116 @@
+"""Tests for the retirement-window timing model."""
+
+import pytest
+
+from repro.cpu.window import RetirementWindow
+from repro.memory.mshr import MshrFile
+from repro.params import ProcessorConfig
+
+
+@pytest.fixture
+def window():
+    win = RetirementWindow(ProcessorConfig(), MshrFile(8))
+    win.set_l1_round_trip(2.0)
+    return win
+
+
+class TestComputeRetirement:
+    def test_compute_advances_at_commit_width(self, window):
+        window.retire_compute(50)
+        assert window.now == pytest.approx(50 / 5)
+
+    def test_cumulative(self, window):
+        window.retire_compute(10)
+        window.retire_compute(10)
+        assert window.now == pytest.approx(4.0)
+
+
+class TestBlockingMemory:
+    def test_hit_costs_latency(self, window):
+        window.retire_memory(2.0, blocking=True)
+        assert window.now >= 2.0
+
+    def test_miss_blocks_retirement(self, window):
+        window.retire_memory(300.0, blocking=True, line_addr=0x10)
+        assert window.now >= 300.0
+
+    def test_decode_ahead_hides_part_of_later_misses(self, window):
+        """Once the window warmed up, fetches start decode-early."""
+        for __ in range(5):
+            window.retire_compute(100)
+        before = window.now
+        window.retire_memory(300.0, blocking=True, line_addr=0x10)
+        stall = window.now - before
+        assert stall < 300.0  # some latency hidden by early fetch
+
+    def test_naive_fetch_at_retirement(self, window):
+        for __ in range(5):
+            window.retire_compute(100)
+        before = window.now
+        window.retire_memory(300.0, blocking=True, fetch_at_decode=False, line_addr=1)
+        assert window.now - before >= 300.0
+
+
+class TestNonBlockingMemory:
+    def test_store_retires_at_pipeline_speed(self, window):
+        window.retire_memory(300.0, blocking=False, line_addr=0x10)
+        assert window.now < 5.0
+
+    def test_unhideable_floor_applies(self, window):
+        before = window.now
+        window.retire_memory(300.0, blocking=True, unhideable=50.0, line_addr=2)
+        assert window.now >= before + 50.0
+
+    def test_unhideable_on_nonblocking(self, window):
+        before = window.now
+        window.retire_memory(2.0, blocking=False, unhideable=24.0)
+        assert window.now >= before + 24.0
+
+
+class TestMshrPressure:
+    def test_mshr_limits_outstanding_misses(self):
+        window = RetirementWindow(ProcessorConfig(), MshrFile(2))
+        window.set_l1_round_trip(2.0)
+        # Warm the window so decode-time is in the past.
+        for __ in range(5):
+            window.retire_compute(100)
+        t0 = window.now
+        for i in range(4):
+            window.retire_memory(300.0, blocking=False, line_addr=0x100 + i)
+        # With 2 MSHRs the 3rd and 4th miss must wait for entries.
+        assert window.mshr.full_stalls > 0
+
+    def test_secondary_miss_merges(self, window):
+        window.retire_memory(300.0, blocking=False, line_addr=7)
+        window.retire_memory(300.0, blocking=False, line_addr=7)
+        assert window.mshr.secondary_misses >= 1
+
+
+class TestStall:
+    def test_stall_until_moves_forward_only(self, window):
+        window.stall_until(100.0)
+        assert window.now == 100.0
+        window.stall_until(50.0)
+        assert window.now == 100.0
+
+
+class TestMonotonicity:
+    def test_cursor_never_regresses(self, window):
+        import random
+
+        rng = random.Random(0)
+        last = 0.0
+        for i in range(200):
+            kind = rng.random()
+            if kind < 0.3:
+                window.retire_compute(rng.randint(1, 50))
+            elif kind < 0.8:
+                window.retire_memory(
+                    rng.choice([2.0, 13.0, 300.0]),
+                    blocking=rng.random() < 0.5,
+                    line_addr=rng.randint(0, 40),
+                )
+            else:
+                window.stall_until(window.now + rng.random() * 10)
+            assert window.now >= last
+            last = window.now

@@ -1,0 +1,98 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.engine.event import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    queue = EventQueue()
+    fired = []
+    queue.push(Event(5.0, lambda: fired.append("b")))
+    queue.push(Event(1.0, lambda: fired.append("a")))
+    queue.push(Event(9.0, lambda: fired.append("c")))
+    while queue:
+        queue.pop().action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_orders_by_priority_then_sequence():
+    queue = EventQueue()
+    order = []
+    queue.push(Event(1.0, lambda: order.append("low"), priority=1))
+    queue.push(Event(1.0, lambda: order.append("high"), priority=0))
+    queue.push(Event(1.0, lambda: order.append("low2"), priority=1))
+    while queue:
+        queue.pop().action()
+    assert order == ["high", "low", "low2"]
+
+
+def test_fifo_within_same_time_and_priority():
+    queue = EventQueue()
+    order = []
+    for i in range(10):
+        queue.push(Event(2.0, lambda i=i: order.append(i)))
+    while queue:
+        queue.pop().action()
+    assert order == list(range(10))
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    event = queue.push(Event(1.0, lambda: None, label="victim"))
+    queue.push(Event(2.0, lambda: None, label="survivor"))
+    event.cancel()
+    assert len(queue) == 1
+    popped = queue.pop()
+    assert popped.label == "survivor"
+    assert queue.pop() is None
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(Event(1.0, lambda: None))
+    event.cancel()
+    event.cancel()
+    assert len(queue) == 0
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(Event(1.0, lambda: None))
+    queue.push(Event(3.0, lambda: None))
+    first.cancel()
+    assert queue.peek_time() == 3.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    events = [queue.push(Event(float(i), lambda: None)) for i in range(5)]
+    assert len(queue) == 5
+    events[2].cancel()
+    assert len(queue) == 4
+    queue.pop()
+    assert len(queue) == 3
+
+
+def test_cannot_push_cancelled_event():
+    queue = EventQueue()
+    event = Event(1.0, lambda: None)
+    event.cancel()
+    with pytest.raises(ValueError):
+        queue.push(event)
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(Event(1.0, lambda: None))
+    queue.clear()
+    assert not queue
+    assert queue.pop() is None

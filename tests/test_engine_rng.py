@@ -1,0 +1,76 @@
+"""Unit tests for deterministic randomness."""
+
+import pytest
+
+from repro.engine.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    assert [a.randint(0, 100) for _ in range(20)] == [
+        b.randint(0, 100) for _ in range(20)
+    ]
+
+
+def test_different_seeds_differ():
+    a = [DeterministicRng(1).randint(0, 10**9) for _ in range(4)]
+    b = [DeterministicRng(2).randint(0, 10**9) for _ in range(4)]
+    assert a != b
+
+
+def test_fork_is_pure_function_of_seed_and_label():
+    parent1 = DeterministicRng(5)
+    parent2 = DeterministicRng(5)
+    # Consuming state from one parent must not change its forks.
+    parent1.randint(0, 100)
+    fork1 = parent1.fork("worker")
+    fork2 = parent2.fork("worker")
+    assert fork1.randint(0, 10**9) == fork2.randint(0, 10**9)
+
+
+def test_forks_with_different_labels_are_independent():
+    parent = DeterministicRng(5)
+    a = parent.fork("a").randint(0, 10**9)
+    b = parent.fork("b").randint(0, 10**9)
+    assert a != b
+
+
+def test_geometric_minimum_is_one():
+    rng = DeterministicRng(3)
+    assert all(rng.geometric(0.9) >= 1 for _ in range(50))
+
+
+def test_geometric_rejects_bad_p():
+    with pytest.raises(ValueError):
+        DeterministicRng(0).geometric(0.0)
+    with pytest.raises(ValueError):
+        DeterministicRng(0).geometric(1.5)
+
+
+def test_zipf_index_in_range():
+    rng = DeterministicRng(11)
+    draws = [rng.zipf_index(16) for _ in range(200)]
+    assert all(0 <= d < 16 for d in draws)
+
+
+def test_zipf_is_skewed_toward_low_indices():
+    rng = DeterministicRng(13)
+    draws = [rng.zipf_index(64) for _ in range(2000)]
+    low = sum(1 for d in draws if d < 8)
+    high = sum(1 for d in draws if d >= 56)
+    assert low > high * 2
+
+
+def test_zipf_rejects_nonpositive_n():
+    with pytest.raises(ValueError):
+        DeterministicRng(0).zipf_index(0)
+
+
+def test_shuffle_and_sample_deterministic():
+    a, b = DeterministicRng(9), DeterministicRng(9)
+    la, lb = list(range(10)), list(range(10))
+    a.shuffle(la)
+    b.shuffle(lb)
+    assert la == lb
+    assert a.sample(range(100), 5) == b.sample(range(100), 5)

@@ -1,0 +1,107 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.engine.simulator import Simulator
+from repro.errors import SimulationError
+
+
+def test_run_advances_clock_to_events():
+    sim = Simulator()
+    times = []
+    sim.at(10, lambda: times.append(sim.now))
+    sim.at(20, lambda: times.append(sim.now))
+    end = sim.run()
+    assert times == [10, 20]
+    assert end == 20
+
+
+def test_after_schedules_relative():
+    sim = Simulator()
+    seen = []
+    sim.at(5, lambda: sim.after(7, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [12]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_run_until_bound():
+    sim = Simulator()
+    fired = []
+    sim.at(10, lambda: fired.append(10))
+    sim.at(100, lambda: fired.append(100))
+    sim.run(until=50)
+    assert fired == [10]
+    assert sim.now == 50
+    # The remaining event still fires on a later run.
+    sim.run()
+    assert fired == [10, 100]
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(1)
+        sim.stop()
+
+    sim.at(1, first)
+    sim.at(2, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def reschedule():
+        sim.after(1, reschedule)
+
+    sim.at(0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_end_hooks_fire_once_per_run():
+    sim = Simulator()
+    calls = []
+    sim.add_end_hook(lambda: calls.append("end"))
+    sim.at(1, lambda: None)
+    sim.run()
+    assert calls == ["end"]
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for i in range(7):
+        sim.at(i, lambda: None)
+    sim.run()
+    assert sim.events_fired == 7
+
+
+def test_deterministic_event_interleaving():
+    """Two identically-built simulations fire events in the same order."""
+
+    def build():
+        sim = Simulator(seed=42)
+        log = []
+        for i in range(20):
+            sim.at(i % 5, lambda i=i: log.append(i))
+        sim.run()
+        return log
+
+    assert build() == build()

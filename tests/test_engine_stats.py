@@ -1,0 +1,80 @@
+"""Unit tests for the statistics registry."""
+
+from repro.engine.stats import Counter, Distribution, StatsRegistry, TimeWeightedStat
+
+
+def test_counter_accumulates():
+    counter = Counter("x")
+    counter.add()
+    counter.add(2.5)
+    assert counter.value == 3.5
+
+
+def test_distribution_mean_max_min():
+    dist = Distribution("d")
+    for v in (1.0, 5.0, 3.0):
+        dist.sample(v)
+    assert dist.mean == 3.0
+    assert dist.max == 5.0
+    assert dist.min == 1.0
+    assert dist.count == 3
+
+
+def test_distribution_empty_mean_is_zero():
+    assert Distribution("d").mean == 0.0
+
+
+def test_time_weighted_average():
+    tw = TimeWeightedStat("occ")
+    tw.set(2.0, now=0.0)
+    tw.set(0.0, now=10.0)  # value was 2 during [0, 10)
+    tw.set(4.0, now=20.0)  # value was 0 during [10, 20)
+    # value is 4 during [20, 30)
+    assert tw.average(30.0) == (2 * 10 + 0 * 10 + 4 * 10) / 30
+
+
+def test_time_weighted_fraction_nonzero():
+    tw = TimeWeightedStat("occ")
+    tw.set(1.0, now=0.0)
+    tw.set(0.0, now=25.0)
+    assert tw.fraction_nonzero(100.0) == 0.25
+
+
+def test_time_weighted_adjust():
+    tw = TimeWeightedStat("occ")
+    tw.adjust(3.0, now=0.0)
+    tw.adjust(-1.0, now=10.0)
+    assert tw.current == 2.0
+
+
+def test_registry_lazy_creation_and_reuse():
+    stats = StatsRegistry()
+    a = stats.counter("a.b")
+    b = stats.counter("a.b")
+    assert a is b
+
+
+def test_registry_bump_and_value():
+    stats = StatsRegistry()
+    stats.bump("hits")
+    stats.bump("hits", 4)
+    assert stats.value("hits") == 5
+    assert stats.value("misses", default=-1) == -1
+
+
+def test_registry_snapshot_includes_distributions():
+    stats = StatsRegistry()
+    stats.bump("c", 2)
+    stats.distribution("d").sample(10)
+    snap = stats.snapshot()
+    assert snap["c"] == 2
+    assert snap["d.mean"] == 10
+    assert snap["d.count"] == 1
+
+
+def test_counters_iteration_sorted():
+    stats = StatsRegistry()
+    stats.bump("z")
+    stats.bump("a")
+    names = [name for name, __ in stats.counters()]
+    assert names == ["a", "z"]

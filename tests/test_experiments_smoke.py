@@ -1,0 +1,63 @@
+"""Small-scale smoke tests for the experiment-regeneration functions.
+
+The benchmarks run these at full scale; here a two-app, short-run sweep
+validates the plumbing (series structure, normalization, report text) so
+harness regressions surface in the fast suite.
+"""
+
+import pytest
+
+from repro.harness.experiments import figure9, figure10, figure11, table3, table4
+from repro.harness.runner import FIGURE9_CONFIGS, SweepRunner
+
+APPS = ["lu", "water-ns"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(instructions_per_thread=3000)
+
+
+def test_figure9_structure(runner):
+    series, report = figure9(runner, apps=APPS)
+    assert set(series) == set(FIGURE9_CONFIGS)
+    for config in FIGURE9_CONFIGS:
+        assert set(series[config]) == set(APPS)
+        for value in series[config].values():
+            assert 0.1 < value < 3.0
+    assert all(series["RC"][app] == 1.0 for app in APPS)
+    assert "G.M." in report
+
+
+def test_table3_structure(runner):
+    data, report = table3(runner, apps=APPS)
+    assert set(data["read_set"]) == set(APPS)
+    for app in APPS:
+        assert data["read_set"][app] > 0
+        assert data["spec_write_disp_per_100k"][app] == 0.0
+    assert "Squashed" in report
+
+
+def test_table4_structure(runner):
+    data, report = table4(runner, apps=APPS)
+    for app in APPS:
+        assert 0 <= data["empty_w_sig_pct"][app] <= 100
+        assert data["pending_w_sigs"][app] >= 0
+    assert "EmptyWSig%" in report
+
+
+def test_figure10_structure():
+    series, report = figure10(
+        instructions=3000, apps=["lu"], chunk_sizes=(500, 1000)
+    )
+    assert set(series) == {"500", "1000", "1000-exact"}
+    assert "chunk-size" in report
+
+
+def test_figure11_structure():
+    breakdowns, report = figure11(instructions=3000, apps=["lu"])
+    assert set(breakdowns) == {"R", "E", "N", "B"}
+    rc = breakdowns["R"]["lu"]
+    assert sum(rc.values()) == pytest.approx(1.0)
+    assert breakdowns["B"]["lu"]["WrSig"] > 0
+    assert "traffic" in report

@@ -1,0 +1,69 @@
+"""Tests for JSON/CSV result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cpu.isa import Compute, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_dypvt
+from repro.system import run_workload
+from repro.tools import (
+    export_run_json,
+    export_series_csv,
+    export_table_csv,
+    load_run_json,
+    run_result_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = bsc_dypvt()
+    space = AddressSpace(AddressMap(8, 1))
+    space.allocate("data", 64)
+    return run_workload(
+        config, [ThreadProgram([Store(8, 1), Compute(20)])], space
+    )
+
+
+class TestRunJson:
+    def test_dict_is_json_serializable(self, result):
+        payload = run_result_to_dict(result)
+        text = json.dumps(payload)
+        assert "bulksc" in text
+
+    def test_proc_stats_excluded_by_default(self, result):
+        payload = run_result_to_dict(result)
+        assert not any(k.startswith("proc") for k in payload["stats"])
+        verbose = run_result_to_dict(result, include_proc_stats=True)
+        assert any(k.startswith("proc") for k in verbose["stats"])
+
+    def test_roundtrip_through_file(self, result, tmp_path):
+        path = export_run_json(result, tmp_path / "run.json")
+        loaded = load_run_json(path)
+        assert loaded["cycles"] == result.cycles
+        assert loaded["model"] == "bulksc"
+
+
+class TestSeriesCsv:
+    def test_tidy_layout(self, tmp_path):
+        series = {"RC": {"lu": 1.0}, "SC": {"lu": 0.7}}
+        path = export_series_csv(series, tmp_path / "s.csv", value_name="speedup")
+        rows = list(csv.DictReader(path.open()))
+        assert {r["config"] for r in rows} == {"RC", "SC"}
+        assert rows[0]["speedup"] in ("1.0", "0.7")
+
+
+class TestTableCsv:
+    def test_rows_written_with_header(self, tmp_path):
+        rows = [{"app": "lu", "squash": 0.1}, {"app": "fft", "squash": 0.2}]
+        path = export_table_csv(rows, tmp_path / "t.csv")
+        read = list(csv.DictReader(path.open()))
+        assert read[1]["app"] == "fft"
+
+    def test_empty_rows(self, tmp_path):
+        path = export_table_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""

@@ -1,0 +1,104 @@
+"""Grand integration: one workload, every configuration, every checker.
+
+The capstone test: a conflict-rich synthetic application runs under all
+eight configurations; each run must satisfy the full invariant bundle —
+SC witness (for SC-preserving models), chunk atomicity and conflict-graph
+consistency (for BulkSC), deterministic replay, and cross-model agreement
+on data-race-free outcomes.
+"""
+
+import pytest
+
+from repro.harness.runner import SweepRunner
+from repro.params import NAMED_CONFIGS
+from repro.system import run_workload
+from repro.verify.atomicity import check_chunk_atomicity
+from repro.verify.sc_checker import check_sequential_consistency
+from repro.verify.serializability import (
+    check_conflict_serializability,
+    conflict_graph_stats,
+)
+from repro.workloads import splash2_workload
+
+SC_PRESERVING = ["SC", "TSO", "SC++", "BSCbase", "BSCdypvt", "BSCstpvt", "BSCexact"]
+BULK_CONFIGS = ["BSCbase", "BSCdypvt", "BSCstpvt", "BSCexact"]
+APP = "radiosity"  # locks + migratory sharing + barriers
+INSTRUCTIONS = 4000
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in NAMED_CONFIGS:
+        config = NAMED_CONFIGS[name]()
+        workload = splash2_workload(APP, config, INSTRUCTIONS, seed=0)
+        out[name] = run_workload(
+            config, workload.programs, workload.address_space, record_history=True
+        )
+    return out
+
+
+def test_every_configuration_completes(results):
+    for name, result in results.items():
+        assert result.cycles > 0, name
+        assert result.total_instructions > 0, name
+
+
+@pytest.mark.parametrize("name", [n for n in SC_PRESERVING if n != "TSO"])
+def test_sc_witnesses_valid(results, name):
+    # TSO is excluded: it is *not* SC (store buffering) — that's the point.
+    check = check_sequential_consistency(results[name].history)
+    assert check.ok, f"{name}: {check.reason}"
+
+
+@pytest.mark.parametrize("name", BULK_CONFIGS)
+def test_chunk_atomicity_holds(results, name):
+    check = check_chunk_atomicity(results[name].history)
+    assert check.ok, f"{name}: {check.reason}"
+
+
+@pytest.mark.parametrize("name", BULK_CONFIGS)
+def test_conflict_graphs_consistent(results, name):
+    check = check_conflict_serializability(results[name].history)
+    assert check.ok, f"{name}: {check.reason}"
+    stats = conflict_graph_stats(results[name].history)
+    assert stats.num_chunks > 0
+    assert stats.serialization_depth >= 1
+
+
+def test_dir_filter_never_missed_a_conflict(results):
+    for name in BULK_CONFIGS:
+        result = results[name]
+        missed = sum(
+            result.stat(f"proc{p}.squashes_missed_by_dir_filter")
+            for p in range(result.config.num_processors)
+        )
+        assert missed == 0, name
+
+
+def test_bulksc_performance_tracks_rc(results):
+    rc = results["RC"].cycles
+    assert results["BSCdypvt"].cycles <= rc * 1.35
+    assert results["SC"].cycles >= rc * 0.95  # SC never beats RC materially
+
+
+def test_runs_are_deterministic():
+    def once():
+        config = NAMED_CONFIGS["BSCdypvt"]()
+        workload = splash2_workload(APP, config, INSTRUCTIONS, seed=0)
+        result = run_workload(
+            config, workload.programs, workload.address_space, record_history=False
+        )
+        return result.cycles, result.stat("commit.visible")
+
+    assert once() == once()
+
+
+def test_memory_images_agree_between_sc_and_bulksc(results):
+    """Not required in general (different interleavings are all legal),
+    but the *keys* written must coincide: both models executed the same
+    program structure."""
+    sc_words = set(results["SC"].memory.nonzero_words())
+    bulk_words = set(results["BSCdypvt"].memory.nonzero_words())
+    overlap = len(sc_words & bulk_words) / max(1, len(sc_words | bulk_words))
+    assert overlap > 0.9

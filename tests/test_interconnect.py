@@ -1,0 +1,75 @@
+"""Tests for the network model and traffic metering."""
+
+from repro.interconnect.network import Network, NodeKind
+from repro.interconnect.traffic import TrafficClass, TrafficMeter
+
+
+class TestTopology:
+    def test_same_node_zero_hops(self):
+        net = Network()
+        assert net.hops(Network.proc(0), Network.proc(0)) == 0
+
+    def test_distinct_tiles_two_hops(self):
+        net = Network()
+        assert net.hops(Network.proc(0), Network.proc(1)) == 2
+        assert net.hops(Network.proc(0), Network.directory(0)) == 2
+
+    def test_arbiter_combined_with_directory(self):
+        """Figure 7(b): arbiter and directory share a tile."""
+        net = Network(combine_arbiter_with_directory=True)
+        assert net.hops(Network.arbiter(0), Network.directory(0)) == 0
+        assert net.hops(Network.arbiter(0), Network.directory(1)) == 2
+
+    def test_latency_scales_with_hop_cycles(self):
+        net = Network(hop_cycles=7)
+        assert net.latency(Network.proc(0), Network.proc(1)) == 14
+
+
+class TestTrafficAccounting:
+    def test_send_meters_header_plus_payload(self):
+        net = Network(header_bytes=8)
+        net.send(Network.proc(0), Network.directory(0), TrafficClass.RD_WR, 32)
+        assert net.meter.bytes[TrafficClass.RD_WR] == 40
+
+    def test_control_message_header_only(self):
+        net = Network(header_bytes=8)
+        net.control(Network.proc(0), Network.arbiter(0))
+        assert net.meter.bytes[TrafficClass.OTHER] == 8
+
+    def test_classes_are_separated(self):
+        net = Network()
+        net.send(Network.proc(0), Network.proc(1), TrafficClass.WR_SIG, 44)
+        net.send(Network.proc(0), Network.proc(1), TrafficClass.INV, 0)
+        assert net.meter.bytes[TrafficClass.WR_SIG] == 52
+        assert net.meter.bytes[TrafficClass.INV] == 8
+        assert net.meter.bytes[TrafficClass.RD_SIG] == 0
+
+
+class TestTrafficMeter:
+    def test_breakdown_keys_match_figure11(self):
+        meter = TrafficMeter()
+        assert set(meter.breakdown()) == {"Rd/Wr", "RdSig", "WrSig", "Inv", "Other"}
+
+    def test_total_bytes(self):
+        meter = TrafficMeter()
+        meter.record(TrafficClass.RD_WR, 100)
+        meter.record(TrafficClass.INV, 50)
+        assert meter.total_bytes == 150
+
+    def test_normalized_to(self):
+        meter = TrafficMeter()
+        meter.record(TrafficClass.RD_WR, 100)
+        norm = meter.normalized_to(200.0)
+        assert norm["Rd/Wr"] == 0.5
+
+    def test_normalized_rejects_zero_baseline(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            TrafficMeter().normalized_to(0.0)
+
+    def test_message_counts(self):
+        meter = TrafficMeter()
+        meter.record(TrafficClass.INV, 0)
+        meter.record(TrafficClass.INV, 0)
+        assert meter.messages[TrafficClass.INV] == 2

@@ -1,0 +1,168 @@
+"""Tests for I/O handling (Section 4.1.3) and the directory cache at the
+system level (Section 4.3.3)."""
+
+import pytest
+
+from repro.cpu.isa import Compute, Io, Load, Reg, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_dypvt, rc_config, sc_config
+from repro.system import Machine, run_workload
+from repro.verify.sc_checker import check_sequential_consistency
+
+
+def make_space(lines=1024):
+    space = AddressSpace(AddressMap(8, 1))
+    space.allocate("data", lines * 8)
+    return space
+
+
+def run_ops(config, programs_ops, **kwargs):
+    programs = [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(programs_ops)]
+    return run_workload(config, programs, make_space(), **kwargs)
+
+
+class TestIO:
+    @pytest.mark.parametrize(
+        "factory", [sc_config, rc_config, bsc_dypvt], ids=["sc", "rc", "bulksc"]
+    )
+    def test_io_ordered_and_recorded(self, factory):
+        result = run_ops(factory(), [[Io(1, 10), Compute(5), Io(2, 20)]])
+        devices = [(device, value) for __, __, device, value in result.machine.io_log]
+        assert devices == [(1, 10), (2, 20)]
+
+    def test_io_sees_prior_register_state(self):
+        result = run_ops(
+            bsc_dypvt(), [[Store(8, 7), Load("r", 8), Io(1, Reg("r"))]]
+        )
+        assert result.machine.io_log[0][3] == 7
+
+    def test_bulksc_io_waits_for_chunk_commits(self):
+        """All prior stores must be committed when the I/O performs."""
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=10_000)
+        machine = Machine(
+            cfg,
+            [ThreadProgram([Store(8, 5), Io(1, 1), Compute(10)])],
+            make_space(),
+        )
+        machine.run()
+        io_time = machine.io_log[0][0]
+        # The store's chunk committed at or before the I/O time.
+        store_events = [e for e in machine.history.events() if e.is_store]
+        assert store_events and store_events[0].time <= io_time
+
+    def test_bulksc_io_closes_chunk(self):
+        cfg = bsc_dypvt()
+        result = run_ops(cfg, [[Store(8, 1), Io(1, 1), Store(16, 2)]])
+        assert result.stat("proc0.chunks_closed.io") >= 1
+        assert result.memory.peek(16) == 2
+
+    def test_bulksc_multiple_procs_with_io_stay_sc(self):
+        programs = [
+            [Store(8, 1), Io(1, 1), Load("a", 16)],
+            [Store(16, 1), Io(2, 2), Load("b", 8)],
+        ]
+        for seed in range(3):
+            result = run_ops(bsc_dypvt(seed=seed), programs)
+            assert check_sequential_consistency(result.history).ok
+
+    def test_io_latency_charged(self):
+        with_io = run_ops(bsc_dypvt(), [[Io(1, 1), Io(1, 2)]]).cycles
+        without = run_ops(bsc_dypvt(), [[Compute(2)]]).cycles
+        assert with_io >= without + 2 * Io.LATENCY - 50
+
+
+class TestDirectoryCacheSystem:
+    def _config(self, sets=4, ways=2):
+        return bsc_dypvt().with_bulksc(
+            use_directory_cache=True,
+            directory_cache_sets=sets,
+            directory_cache_ways=ways,
+        )
+
+    def test_directory_cache_machine_builds(self):
+        from repro.coherence.directory_cache import DirectoryCache
+
+        machine = Machine(self._config(), [], make_space())
+        assert isinstance(machine.coherence.directories[0], DirectoryCache)
+
+    def test_displacements_happen_and_execution_stays_correct(self):
+        """An undersized directory cache displaces; values and SC must
+        survive the Section 4.3.3 protocol.  (Single processor: the
+        displaced lines have no other sharers, so no squash storms.)"""
+        cfg = self._config(sets=8, ways=2)
+        ops = []
+        for i in range(40):
+            ops.append(Store(8 * i, i + 1))
+            ops.append(Compute(5))
+        for i in range(40):
+            ops.append(Load(f"r{i}", 8 * i))
+        result = run_ops(cfg, [ops])
+        assert result.stat("directory.displacements") > 0
+        for i in range(40):
+            assert result.registers[0][f"r{i}"] == i + 1
+
+    def test_multiprocessor_with_displacements_stays_sc(self):
+        # 128 entries for ~60 lines of cross-proc traffic: steady
+        # displacement pressure without degenerating into the
+        # displacement/squash/replay storm an undersized directory causes
+        # (which is glacial to simulate — hardware would thrash too).
+        programs = []
+        for proc in range(2):
+            ops = [Compute(3 + proc * 7)]
+            for i in range(12):
+                ops.append(Store(8 * (proc * 40 + i), i))
+                ops.append(Load("r", 8 * ((proc + 1) % 2 * 40 + i % 6)))
+                ops.append(Compute(8))
+            programs.append(ops)
+        cfg_seeded = bsc_dypvt().with_bulksc(
+            use_directory_cache=True,
+            directory_cache_sets=32,
+            directory_cache_ways=4,
+        )
+        result = run_ops(cfg_seeded, programs)
+        check = check_sequential_consistency(result.history)
+        assert check.ok, check.reason
+
+    def test_displacement_sends_signatures(self):
+        cfg = self._config(sets=8, ways=2)
+        ops = []
+        for i in range(40):
+            ops.append(Load(f"r{i}", 8 * i))
+            ops.append(Compute(3))
+        result = run_ops(cfg, [ops])
+        # Displacements of shared entries generate WrSig traffic to the
+        # sharers (the one-line disambiguation signature).
+        assert result.stat("directory.displacements") > 0
+
+    def test_displacement_storm_bounded(self):
+        """A pathologically small directory thrashes (displacement →
+        squash → replay → displacement...).  We don't require the storm
+        to converge quickly — hardware wouldn't either — only that the
+        simulation stays SC-correct for as far as it runs."""
+        cfg = self._config(sets=4, ways=2)
+        programs = []
+        for proc in range(2):
+            ops = [Compute(3 + proc * 7)]
+            for i in range(6):
+                ops.append(Store(8 * (proc * 40 + i), i))
+                ops.append(Load("r", 8 * ((proc + 1) % 2 * 40 + i % 3)))
+                ops.append(Compute(8))
+            programs.append(ops)
+        machine = Machine(
+            cfg,
+            [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(programs)],
+            make_space(),
+        )
+        result = machine.run(max_cycles=2_000.0)
+        assert result.stat("directory.displacements") > 0
+        check = check_sequential_consistency(result.history)
+        assert check.ok, check.reason
+
+    def test_baselines_unaffected_by_directory_cache_flag(self):
+        """The flag only applies to BulkSC machines."""
+        from repro.coherence.directory_cache import DirectoryCache
+
+        cfg = sc_config()
+        machine = Machine(cfg, [], make_space())
+        assert not isinstance(machine.coherence.directories[0], DirectoryCache)

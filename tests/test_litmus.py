@@ -1,0 +1,119 @@
+"""Litmus tests: the behavioural proof that BulkSC enforces SC.
+
+Each classic weak-memory shape runs under every model over many seeds
+and thread staggers.  SC and BulkSC must never exhibit a forbidden
+outcome and must always produce a valid SC witness; RC must exhibit the
+store-buffering outcome (proving the harness can detect violations).
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.cpu.isa import Compute
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import (
+    SystemConfig,
+    bsc_base,
+    bsc_dypvt,
+    bsc_exact,
+    bsc_stpvt,
+    rc_config,
+    sc_config,
+    scpp_config,
+)
+from repro.system import run_workload
+from repro.verify.litmus import LitmusTest, all_litmus_tests
+from repro.verify.sc_checker import check_sequential_consistency
+
+STAGGERS = [(1, 1, 1, 1), (1, 60, 1, 60), (60, 1, 60, 1), (200, 1, 7, 90)]
+SEEDS = [0, 1, 2]
+
+
+def run_litmus(test: LitmusTest, config: SystemConfig, stagger) -> tuple:
+    space = AddressSpace(
+        AddressMap(config.memory.words_per_line, config.num_directories)
+    )
+    addrs: Dict[str, int] = {}
+    for var in test.variables:
+        addrs[var] = space.allocate(var, config.memory.words_per_line).start_word
+    programs: List[ThreadProgram] = []
+    for i, ops in enumerate(test.build(addrs)):
+        preamble = [Compute(stagger[i % len(stagger)])]
+        programs.append(ThreadProgram(preamble + ops, name=f"{test.name}.t{i}"))
+    result = run_workload(config, programs, space)
+    forbidden = test.forbidden(result.registers)
+    sc_check = check_sequential_consistency(result.history)
+    return forbidden, sc_check
+
+
+SC_PRESERVING = [
+    ("SC", sc_config),
+    ("SC++", scpp_config),
+    ("BSCbase", bsc_base),
+    ("BSCdypvt", bsc_dypvt),
+    ("BSCstpvt", bsc_stpvt),
+    ("BSCexact", bsc_exact),
+]
+
+
+@pytest.mark.parametrize("test", all_litmus_tests(), ids=lambda t: t.name)
+@pytest.mark.parametrize("name,factory", SC_PRESERVING, ids=[n for n, _ in SC_PRESERVING])
+def test_sc_preserving_models_forbid_weak_outcomes(test, name, factory):
+    for seed in SEEDS:
+        for stagger in STAGGERS:
+            forbidden, sc_check = run_litmus(test, factory(seed=seed), stagger)
+            assert not forbidden, (
+                f"{name} exhibited the forbidden {test.name} outcome "
+                f"(seed={seed}, stagger={stagger})"
+            )
+            assert sc_check.ok, (
+                f"{name} produced a non-SC witness on {test.name}: "
+                f"{sc_check.reason}"
+            )
+
+
+def test_rc_exhibits_store_buffering():
+    """RC must show the SB outcome — the litmus harness has teeth."""
+    from repro.verify.litmus import dekker_sb
+
+    test = dekker_sb()
+    seen_forbidden = False
+    for seed in SEEDS:
+        for stagger in STAGGERS:
+            forbidden, __ = run_litmus(test, rc_config(seed=seed), stagger)
+            seen_forbidden |= forbidden
+    assert seen_forbidden
+
+
+def test_rc_sb_history_fails_the_sc_witness_check():
+    from repro.verify.litmus import dekker_sb
+
+    test = dekker_sb()
+    any_failed = False
+    for seed in SEEDS:
+        __, sc_check = run_litmus(test, rc_config(seed=seed), STAGGERS[0])
+        any_failed |= not sc_check.ok
+    assert any_failed
+
+
+@pytest.mark.parametrize("name", ["CoRR", "CoWW"])
+def test_rc_never_violates_coherence_shapes(name):
+    """Even RC forbids the single-location coherence shapes."""
+    test = next(t for t in all_litmus_tests() if t.name == name)
+    for seed in SEEDS:
+        for stagger in STAGGERS:
+            forbidden, __ = run_litmus(test, rc_config(seed=seed), stagger)
+            assert not forbidden
+
+
+def test_fences_repair_rc_on_store_buffering():
+    """SB with full fences is forbidden even under RC."""
+    from repro.verify.litmus import dekker_sb_fenced
+
+    test = dekker_sb_fenced()
+    for seed in SEEDS:
+        for stagger in STAGGERS:
+            forbidden, __ = run_litmus(test, rc_config(seed=seed), stagger)
+            assert not forbidden

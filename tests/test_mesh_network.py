@@ -1,0 +1,128 @@
+"""Tests for the 2D-mesh interconnect."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.thread import ThreadProgram
+from repro.errors import ConfigError
+from repro.interconnect.mesh import MeshNetwork
+from repro.interconnect.network import Network
+from repro.interconnect.traffic import TrafficClass
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_dypvt, paper_config, rc_config
+from repro.system import run_workload
+
+
+def mesh(rows=2, cols=4, procs=8):
+    return MeshNetwork(rows, cols, procs)
+
+
+class TestPlacementAndRouting:
+    def test_processor_tiles_row_major(self):
+        net = mesh()
+        assert net.tile_of(Network.proc(0)) == 0
+        assert net.tile_of(Network.proc(5)) == 5
+        assert net.coordinates(5) == (1, 1)
+
+    def test_directory_shares_processor_tile(self):
+        net = mesh()
+        assert net.tile_of(Network.directory(3)) == net.tile_of(Network.proc(3))
+        assert net.tile_of(Network.arbiter(0)) == 0
+
+    def test_manhattan_hops(self):
+        net = mesh(rows=2, cols=4)
+        # tile 0 = (0,0); tile 7 = (1,3): 1 + 3 = 4 hops.
+        assert net.hops(Network.proc(0), Network.proc(7)) == 4
+        assert net.hops(Network.proc(0), Network.proc(0)) == 0
+        assert net.hops(Network.proc(1), Network.proc(2)) == 1
+
+    def test_latency_scales_with_distance(self):
+        net = mesh()
+        near = net.latency(Network.proc(0), Network.proc(1))
+        far = net.latency(Network.proc(0), Network.proc(7))
+        assert far > near
+
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            MeshNetwork(0, 4, 1)
+        with pytest.raises(ValueError):
+            MeshNetwork(1, 2, 8)  # cannot place 8 processors
+
+
+class TestLinkAccounting:
+    def test_bytes_charged_along_route(self):
+        net = mesh()
+        net.send(Network.proc(0), Network.proc(3), TrafficClass.RD_WR, 32)
+        # XY route 0->1->2->3: three links, 40 bytes each.
+        assert net.link_bytes[(0, 1)] == 40
+        assert net.link_bytes[(1, 2)] == 40
+        assert net.link_bytes[(2, 3)] == 40
+        assert net.total_link_bytes() == 120
+
+    def test_same_tile_message_uses_no_links(self):
+        net = mesh()
+        net.send(Network.arbiter(0), Network.proc(0), TrafficClass.OTHER, 0)
+        assert net.total_link_bytes() == 0
+
+    def test_hottest_links(self):
+        net = mesh()
+        for __ in range(3):
+            net.send(Network.proc(0), Network.proc(1), TrafficClass.RD_WR, 0)
+        net.send(Network.proc(2), Network.proc(3), TrafficClass.RD_WR, 0)
+        (top_link, top_bytes), *_ = net.hottest_links(1)
+        assert top_link == (0, 1)
+        assert top_bytes == 24
+
+    def test_bisection_bytes(self):
+        net = mesh(rows=2, cols=4)
+        net.send(Network.proc(0), Network.proc(3), TrafficClass.RD_WR, 0)  # crosses
+        net.send(Network.proc(0), Network.proc(1), TrafficClass.RD_WR, 0)  # stays left
+        assert net.bisection_bytes() == 8
+
+    def test_class_meter_still_works(self):
+        net = mesh()
+        net.send(Network.proc(0), Network.proc(7), TrafficClass.WR_SIG, 44)
+        assert net.meter.bytes[TrafficClass.WR_SIG] == 52
+
+
+class TestMeshSystemRuns:
+    def _space(self, config):
+        space = AddressSpace(
+            AddressMap(config.memory.words_per_line, config.num_directories)
+        )
+        space.allocate("data", 4096)
+        return space
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            replace(paper_config(), network_topology="ring").validate()
+        with pytest.raises(ConfigError):
+            replace(
+                paper_config(), network_topology="mesh", mesh_rows=1, mesh_cols=2
+            ).validate()
+
+    @pytest.mark.parametrize("factory", [rc_config, bsc_dypvt], ids=["rc", "bulksc"])
+    def test_models_run_on_mesh(self, factory):
+        config = replace(factory(), network_topology="mesh").validate()
+        programs = [ThreadProgram([Store(8 * p, p + 1), Compute(30)]) for p in range(8)]
+        result = run_workload(config, programs, self._space(config))
+        for p in range(8):
+            assert result.memory.peek(8 * p) == p + 1
+        machine = result.machine
+        assert isinstance(machine.coherence.network, MeshNetwork)
+
+    def test_mesh_is_never_faster_than_crossbar(self):
+        ops = []
+        for i in range(30):
+            ops.append(Load(f"r{i}", 8 * 64 * i))
+            ops.append(Compute(10))
+        crossbar_cfg = rc_config()
+        mesh_cfg = replace(rc_config(), network_topology="mesh").validate()
+        space = self._space(crossbar_cfg)
+        crossbar = run_workload(crossbar_cfg, [ThreadProgram(ops)], space)
+        mesh_result = run_workload(
+            mesh_cfg, [ThreadProgram(ops)], self._space(mesh_cfg)
+        )
+        assert mesh_result.cycles >= crossbar.cycles * 0.95

@@ -1,0 +1,116 @@
+"""System tests with multiple directory modules and distributed arbiters."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import ArbiterTopology, bsc_dypvt, rc_config
+from repro.system import Machine, run_workload
+from repro.verify.sc_checker import check_sequential_consistency
+
+
+def multi_dir_config(num_dirs=4, distributed=False, seed=0):
+    cfg = replace(bsc_dypvt(seed=seed), num_directories=num_dirs)
+    if distributed:
+        cfg = cfg.with_bulksc(
+            arbiter_topology=ArbiterTopology.DISTRIBUTED, num_arbiters=num_dirs
+        )
+    return cfg.validate()
+
+
+def make_space(config):
+    space = AddressSpace(
+        AddressMap(config.memory.words_per_line, config.num_directories)
+    )
+    space.allocate("data", 16384)
+    return space
+
+
+def spread_ops(count=24):
+    """Stores/loads spread across all directory interleaves."""
+    ops = []
+    for i in range(count):
+        ops.append(Store(8 * i, i + 1))
+        ops.append(Compute(10))
+    for i in range(count):
+        ops.append(Load(f"r{i}", 8 * i))
+    return ops
+
+
+class TestCentralArbiterMultipleDirectories:
+    def test_values_and_sc(self):
+        cfg = multi_dir_config(4, distributed=False)
+        result = run_workload(cfg, [ThreadProgram(spread_ops())], make_space(cfg))
+        for i in range(24):
+            assert result.registers[0][f"r{i}"] == i + 1
+        assert check_sequential_consistency(result.history).ok
+
+    def test_lines_interleave_across_modules(self):
+        cfg = multi_dir_config(4)
+        machine = Machine(cfg, [ThreadProgram(spread_ops())], make_space(cfg))
+        machine.run()
+        populated = [d for d in machine.coherence.directories if d.entry_count() > 0]
+        assert len(populated) == 4
+
+    def test_each_module_has_a_dirbdm(self):
+        cfg = multi_dir_config(4)
+        machine = Machine(cfg, [], make_space(cfg))
+        assert len(machine.dirbdms) == 4
+
+
+class TestDistributedArbiter:
+    def test_values_and_sc(self):
+        cfg = multi_dir_config(4, distributed=True)
+        result = run_workload(cfg, [ThreadProgram(spread_ops())], make_space(cfg))
+        for i in range(24):
+            assert result.registers[0][f"r{i}"] == i + 1
+        assert check_sequential_consistency(result.history).ok
+
+    def test_multi_range_commits_use_g_arbiter(self):
+        cfg = multi_dir_config(4, distributed=True)
+        # One chunk writing lines homed at every module.
+        ops = []
+        for i in range(8):
+            ops.append(Store(8 * i, i))
+        result = run_workload(cfg, [ThreadProgram(ops)], make_space(cfg))
+        assert result.stat("commit.g_arbiter_transactions") >= 1
+
+    def test_multiprocessor_contention_stays_sc(self):
+        for seed in range(2):
+            cfg = multi_dir_config(4, distributed=True, seed=seed)
+            programs = []
+            for proc in range(4):
+                ops = [Compute(5 + proc * 11)]
+                for i in range(15):
+                    ops.append(Store(8 * (i % 6), proc * 100 + i))
+                    ops.append(Load("r", 8 * ((i + 1) % 6)))
+                    ops.append(Compute(12))
+                programs.append(ThreadProgram(ops, name=f"t{proc}"))
+            result = run_workload(cfg, programs, make_space(cfg))
+            check = check_sequential_consistency(result.history)
+            assert check.ok, check.reason
+
+    def test_distributed_matches_central_functionally(self):
+        """Same program, same final state under both arbiter topologies."""
+        ops = spread_ops(12)
+        central_cfg = multi_dir_config(4, distributed=False)
+        dist_cfg = multi_dir_config(4, distributed=True)
+        central = run_workload(
+            central_cfg, [ThreadProgram(ops)], make_space(central_cfg)
+        )
+        distributed = run_workload(
+            dist_cfg, [ThreadProgram(ops)], make_space(dist_cfg)
+        )
+        assert central.registers[0] == distributed.registers[0]
+        assert central.memory.nonzero_words() == distributed.memory.nonzero_words()
+
+
+class TestBaselinesWithMultipleDirectories:
+    def test_rc_works_with_four_modules(self):
+        cfg = replace(rc_config(), num_directories=4).validate()
+        result = run_workload(cfg, [ThreadProgram(spread_ops())], make_space(cfg))
+        for i in range(24):
+            assert result.registers[0][f"r{i}"] == i + 1

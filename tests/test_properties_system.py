@@ -1,0 +1,135 @@
+"""Property-based system tests (hypothesis).
+
+Random small multi-threaded programs are executed under the
+SC-preserving models; every execution must yield a valid SC witness and
+a final memory state that the witness replay reproduces.  This is the
+strongest end-to-end invariant the reproduction has: it exercises chunk
+formation, commit arbitration, squash/replay, and private-data handling
+against randomly adversarial sharing patterns.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_base, bsc_dypvt, sc_config, scpp_config
+from repro.system import run_workload
+from repro.verify.sc_checker import check_sequential_consistency
+
+# A tiny shared footprint maximizes conflicts.
+WORDS = [0, 8, 16, 64, 72, 512]
+
+
+@st.composite
+def small_program(draw):
+    ops = [Compute(draw(st.integers(1, 50)))]
+    length = draw(st.integers(1, 12))
+    reg = 0
+    for __ in range(length):
+        kind = draw(st.sampled_from(["load", "store", "compute"]))
+        word = draw(st.sampled_from(WORDS))
+        if kind == "load":
+            reg += 1
+            ops.append(Load(f"r{reg}", word))
+        elif kind == "store":
+            ops.append(Store(word, draw(st.integers(1, 99))))
+        else:
+            ops.append(Compute(draw(st.integers(1, 30))))
+    return ops
+
+
+@st.composite
+def small_workload(draw):
+    num_threads = draw(st.integers(2, 4))
+    return [draw(small_program()) for __ in range(num_threads)]
+
+
+def run_model(factory, programs_ops, seed):
+    config = factory(seed=seed)
+    space = AddressSpace(
+        AddressMap(config.memory.words_per_line, config.num_directories)
+    )
+    space.allocate("shared", 1024)
+    programs = [
+        ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(programs_ops)
+    ]
+    return run_workload(config, programs, space)
+
+
+def replay_final_memory(history):
+    memory = {}
+    for event in history.events():
+        if event.is_store:
+            memory[event.word_addr] = event.value
+    return memory
+
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(small_workload(), st.integers(0, 3))
+@settings(**COMMON_SETTINGS)
+def test_bulksc_dypvt_random_programs_are_sc(programs_ops, seed):
+    result = run_model(bsc_dypvt, programs_ops, seed)
+    check = check_sequential_consistency(result.history)
+    assert check.ok, check.reason
+
+
+@given(small_workload(), st.integers(0, 3))
+@settings(**COMMON_SETTINGS)
+def test_bulksc_base_random_programs_are_sc(programs_ops, seed):
+    result = run_model(bsc_base, programs_ops, seed)
+    check = check_sequential_consistency(result.history)
+    assert check.ok, check.reason
+
+
+@given(small_workload(), st.integers(0, 1))
+@settings(**COMMON_SETTINGS)
+def test_scpp_random_programs_are_sc(programs_ops, seed):
+    result = run_model(scpp_config, programs_ops, seed)
+    assert check_sequential_consistency(result.history).ok
+
+
+@given(small_workload(), st.integers(0, 1))
+@settings(**COMMON_SETTINGS)
+def test_final_memory_matches_witness_replay(programs_ops, seed):
+    """The visibility history fully explains the final memory image."""
+    result = run_model(bsc_dypvt, programs_ops, seed)
+    replayed = replay_final_memory(result.history)
+    for word, value in replayed.items():
+        assert result.memory.peek(word) == value
+
+
+@given(small_workload(), st.integers(0, 1))
+@settings(**COMMON_SETTINGS)
+def test_every_instruction_retires_exactly_once(programs_ops, seed):
+    """Squash-replay must not duplicate or drop committed operations."""
+    result = run_model(bsc_dypvt, programs_ops, seed)
+    per_proc_indices = {}
+    for event in result.history.events():
+        per_proc_indices.setdefault(event.proc, []).append(event.program_index)
+    for proc, indices in per_proc_indices.items():
+        memory_ops = [
+            i
+            for i, op in enumerate(programs_ops[proc])
+            if op.is_memory
+        ]
+        assert sorted(set(indices)) == memory_ops
+        # No duplicates: committed each op exactly once.
+        assert len(indices) == len(memory_ops)
+
+
+@given(small_workload(), st.integers(0, 1))
+@settings(**COMMON_SETTINGS)
+def test_sc_and_bulksc_agree_on_single_thread(programs_ops, seed):
+    """With one thread, every model must compute identical results."""
+    single = [programs_ops[0]]
+    sc = run_model(sc_config, single, seed)
+    bulk = run_model(bsc_dypvt, single, seed)
+    assert sc.registers[0] == bulk.registers[0]
+    assert sc.memory.nonzero_words() == bulk.memory.nonzero_words()

@@ -1,0 +1,64 @@
+"""Fast unit tests for rendering helpers and error types."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ConsistencyViolation,
+    DeadlockError,
+    ProgramError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.harness.figures import render_stacked_traffic
+from repro.harness.tables import render_generic
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ConfigError,
+            SimulationError,
+            DeadlockError,
+            ProtocolError,
+            ProgramError,
+            ConsistencyViolation,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_consistency_violation_carries_witness(self):
+        err = ConsistencyViolation("bad", witness={"event": 1})
+        assert err.witness == {"event": 1}
+        assert "bad" in str(err)
+
+
+class TestStackedTraffic:
+    def test_renders_all_configs_and_totals(self):
+        breakdowns = {
+            "R": {"app1": {"Rd/Wr": 1.0}},
+            "B": {"app1": {"Rd/Wr": 1.0, "WrSig": 0.1}},
+        }
+        text = render_stacked_traffic("t", breakdowns, ["app1"])
+        assert "1.100" in text  # B total
+        assert "R" in text and "B" in text
+
+    def test_missing_app_skipped(self):
+        breakdowns = {"R": {}}
+        text = render_stacked_traffic("t", breakdowns, ["ghost"])
+        assert "ghost" not in text.splitlines()[-1] or len(text.splitlines()) == 2
+
+
+class TestGenericTable:
+    def test_column_alignment(self):
+        text = render_generic(["col", "x"], [["verylongcell", 1]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].index("x") > lines[0].index("col")
+
+    def test_empty_rows(self):
+        text = render_generic(["a"], [])
+        assert "a" in text

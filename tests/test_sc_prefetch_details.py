@@ -1,0 +1,109 @@
+"""Detailed tests for the SC baseline's prefetch machinery."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import sc_config
+from repro.system import Machine, run_workload
+
+
+def make_space():
+    space = AddressSpace(AddressMap(8, 1))
+    space.allocate("data", 65536)
+    return space
+
+
+def run_sc(programs_ops, **cfg_kwargs):
+    cfg = sc_config()
+    if cfg_kwargs:
+        cfg = replace(cfg, baseline=replace(cfg.baseline, **cfg_kwargs)).validate()
+    programs = [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(programs_ops)]
+    return run_workload(cfg, programs, make_space())
+
+
+class TestPrefetchInvalidation:
+    def test_remote_write_marks_prefetched_line(self):
+        """A line fetched early but stolen before retirement costs a
+        refetch (the speculative-load rollback of [Gharachorloo'91])."""
+        shared = 8 * 100
+        # Proc 1 writes the line proc 0 is streaming towards.
+        reader = []
+        for i in range(40):
+            reader.append(Load(f"r{i}", 8 * i))
+            reader.append(Compute(10))
+        reader.append(Load("target", shared))
+        writer = [Compute(100), Store(shared, 7)]
+        result = run_sc([reader, writer])
+        # Correctness: the reader sees 0 or 7 (either order is SC).
+        assert result.registers[0]["target"] in (0, 7)
+
+    def test_invalidation_penalty_counted(self):
+        """Force the pattern: proc 0 reads a line, proc 1 invalidates it,
+        proc 0 re-reads - the penalty counter may fire."""
+        shared = 8 * 4
+        ping = []
+        for i in range(10):
+            ping.append(Load(f"a{i}", shared))
+            ping.append(Compute(40))
+        pong = []
+        for i in range(10):
+            pong.append(Store(shared, i))
+            pong.append(Compute(40))
+        result = run_sc([ping, pong])
+        # The mechanism ran without breaking values:
+        final = result.registers[0]["a9"]
+        assert 0 <= final <= 9
+
+
+class TestNaiveVsPrefetchingSC:
+    def test_naive_sc_is_strictly_slower_on_misses(self):
+        ops = []
+        for i in range(50):
+            ops.append(Load(f"r{i}", 8 * 64 * i))
+            ops.append(Compute(20))
+        fast = run_sc([ops]).cycles
+        slow = run_sc([ops], sc_prefetching=False).cycles
+        assert slow > fast
+
+    def test_hit_heavy_code_insensitive_to_prefetching(self):
+        ops = [Load("r0", 8)]
+        for i in range(50):
+            ops.append(Load(f"r{i+1}", 8))
+            ops.append(Compute(5))
+        fast = run_sc([ops]).cycles
+        slow = run_sc([ops], sc_prefetching=False).cycles
+        # Only the single cold miss differs; the L1-hit stream does not.
+        assert slow <= fast * 1.35
+
+
+class TestStoreExposure:
+    def test_zero_exposure_is_faster_but_still_sc_ordered(self):
+        from repro.params import rc_config
+
+        ops = []
+        for i in range(40):
+            ops.append(Store(8 * 64 * i, i))
+            ops.append(Compute(10))
+        sc_exposed = run_sc([ops]).cycles
+        sc_free = run_sc([ops], sc_store_exposure_fraction=0.0).cycles
+        rc = run_workload(
+            rc_config(), [ThreadProgram(ops)], make_space()
+        ).cycles
+        # Exposure only adds cost...
+        assert sc_free < sc_exposed
+        # ...but even without it, SC's in-order store retirement keeps it
+        # well behind RC's wait-free stores (the structural gap).
+        assert rc < sc_free
+
+    def test_full_exposure_is_worst(self):
+        ops = []
+        for i in range(30):
+            ops.append(Store(8 * 64 * i, i))
+            ops.append(Compute(10))
+        half = run_sc([ops], sc_store_exposure_fraction=0.5).cycles
+        full = run_sc([ops], sc_store_exposure_fraction=1.0).cycles
+        assert full >= half

@@ -1,0 +1,127 @@
+"""Tests for chunk conflict-graph analytics."""
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_dypvt
+from repro.system import run_workload
+from repro.verify.history import ExecutionHistory
+from repro.verify.serializability import (
+    build_precedence_graph,
+    check_conflict_serializability,
+    conflict_graph_stats,
+)
+
+
+def history_of(*events):
+    """events: (proc, is_store, addr, value, program_index, chunk_id)."""
+    history = ExecutionHistory()
+    for time, (proc, is_store, addr, value, index, chunk) in enumerate(events):
+        history.record(float(time), proc, is_store, addr, value, index, chunk_id=chunk)
+    return history
+
+
+class TestGraphConstruction:
+    def test_conflict_edge_on_write_read(self):
+        history = history_of(
+            (0, True, 100, 1, 0, 1),  # chunk (0,1) writes 100
+            (1, False, 100, 1, 0, 1),  # chunk (1,1) reads 100
+        )
+        graph = build_precedence_graph(history)
+        assert graph.has_edge((0, 1), (1, 1))
+        assert graph[(0, 1)][(1, 1)]["kind"] == "conflict"
+
+    def test_no_edge_between_disjoint_chunks(self):
+        history = history_of(
+            (0, True, 100, 1, 0, 1),
+            (1, True, 200, 2, 0, 1),
+        )
+        graph = build_precedence_graph(history)
+        assert not graph.has_edge((0, 1), (1, 1))
+
+    def test_program_order_edges(self):
+        history = history_of(
+            (0, True, 1, 1, 0, 1),
+            (0, True, 2, 2, 1, 2),
+        )
+        graph = build_precedence_graph(history)
+        assert graph[(0, 1)][(0, 2)]["kind"] == "program"
+
+    def test_write_write_conflict(self):
+        history = history_of(
+            (0, True, 100, 1, 0, 1),
+            (1, True, 100, 2, 0, 1),
+        )
+        graph = build_precedence_graph(history)
+        assert graph.has_edge((0, 1), (1, 1))
+
+    def test_read_write_anti_dependency(self):
+        history = history_of(
+            (0, False, 100, 0, 0, 1),  # reads 100
+            (1, True, 100, 5, 0, 1),  # later writes 100
+        )
+        graph = build_precedence_graph(history)
+        assert graph.has_edge((0, 1), (1, 1))
+
+
+class TestAnalytics:
+    def test_stats_on_chain(self):
+        history = history_of(
+            (0, True, 100, 1, 0, 1),
+            (1, False, 100, 1, 0, 1),
+            (2, True, 200, 1, 0, 1),
+        )
+        stats = conflict_graph_stats(history)
+        assert stats.num_chunks == 3
+        assert stats.num_conflict_edges == 1
+        assert stats.serialization_depth == 2
+        assert stats.width == pytest.approx(1.5)
+
+    def test_empty_history(self):
+        stats = conflict_graph_stats(ExecutionHistory())
+        assert stats.num_chunks == 0
+        assert stats.width == 0.0
+
+    def test_independent_chunks_have_width_equal_count(self):
+        history = history_of(
+            (0, True, 1, 1, 0, 1),
+            (1, True, 2, 1, 0, 1),
+            (2, True, 3, 1, 0, 1),
+        )
+        stats = conflict_graph_stats(history)
+        assert stats.serialization_depth == 1
+        assert stats.width == 3.0
+
+
+class TestConsistencyAssertion:
+    def test_well_formed_history_is_acyclic(self):
+        history = history_of(
+            (0, True, 1, 1, 0, 1),
+            (1, False, 1, 1, 0, 1),
+            (0, True, 1, 2, 1, 2),
+        )
+        result = check_conflict_serializability(history)
+        assert result.ok
+        assert result.num_chunks == 3
+
+    def test_real_bulksc_execution(self):
+        space = AddressSpace(AddressMap(8, 1))
+        space.allocate("shared", 2048)
+        programs = []
+        for proc in range(4):
+            ops = [Compute(5 + proc * 3)]
+            for i in range(10):
+                ops.append(Store(8 * (i % 4), proc * 10 + i))
+                ops.append(Load("r", 8 * ((i + 1) % 4)))
+                ops.append(Compute(10))
+            programs.append(ThreadProgram(ops, name=f"t{proc}"))
+        result = run_workload(bsc_dypvt(), programs, space)
+        check = check_conflict_serializability(result.history)
+        assert check.ok
+        stats = conflict_graph_stats(result.history)
+        assert stats.num_chunks >= 4
+        # A shared-hammering workload must show real conflicts.
+        assert stats.num_conflict_edges > 0
+        assert stats.serialization_depth >= 2

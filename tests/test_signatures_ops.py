@@ -1,0 +1,64 @@
+"""Tests for the functional signature-operation wrappers (Figure 2b)."""
+
+from repro.signatures.bloom import BloomSignature
+from repro.signatures.exact import ExactSignature
+from repro.signatures.ops import (
+    collides,
+    expand_into_sets,
+    intersect,
+    intersects,
+    is_empty,
+    member,
+    union,
+)
+
+
+def bloom(*addrs):
+    sig = BloomSignature()
+    sig.insert_all(addrs)
+    return sig
+
+
+def exact(*addrs):
+    sig = ExactSignature()
+    sig.insert_all(addrs)
+    return sig
+
+
+def test_intersect_wrapper():
+    assert not is_empty(intersect(bloom(1, 2), bloom(2, 3)))
+
+
+def test_union_wrapper():
+    u = union(exact(1), exact(2))
+    assert member(u, 1) and member(u, 2)
+
+
+def test_intersects_predicate():
+    assert intersects(exact(5), exact(5, 6))
+    assert not intersects(exact(5), exact(6))
+
+
+def test_expand_into_sets():
+    assert expand_into_sets(exact(0x105), 256) == {5}
+
+
+def test_collides_on_read_set():
+    """W_commit ∩ R_local non-empty means squash."""
+    w_commit = exact(10)
+    assert collides(w_commit, r_local=exact(10, 11), w_local=exact())
+
+
+def test_collides_on_write_set():
+    """The W∩W term handles partially-updated cache lines."""
+    w_commit = exact(10)
+    assert collides(w_commit, r_local=exact(), w_local=exact(10))
+
+
+def test_no_collision_when_disjoint():
+    assert not collides(exact(1), r_local=exact(2), w_local=exact(3))
+
+
+def test_collides_with_bloom_signatures():
+    w_commit = bloom(0x7000)
+    assert collides(w_commit, r_local=bloom(0x7000), w_local=bloom())

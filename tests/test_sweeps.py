@@ -1,0 +1,65 @@
+"""Tests for the parameter-sweep library."""
+
+import pytest
+
+from repro.harness.sweeps import SweepPoint, SweepResult, sweep_parameter
+from repro.harness.metrics import squashed_instruction_pct
+
+
+@pytest.fixture(scope="module")
+def chunk_sweep():
+    return sweep_parameter(
+        parameter_name="chunk_size",
+        values=[500, 1000],
+        apply=lambda cfg, v: cfg.with_bulksc(chunk_size_instructions=v),
+        metric=lambda result: result.cycles,
+        apps=["lu"],
+        instructions=3000,
+        metric_name="cycles",
+    )
+
+
+def test_sweep_covers_grid(chunk_sweep):
+    assert len(chunk_sweep.points) == 2
+    assert chunk_sweep.values() == [500, 1000]
+    assert {p.app for p in chunk_sweep.points} == {"lu"}
+
+
+def test_metric_table_shape(chunk_sweep):
+    table = chunk_sweep.metric_table()
+    assert set(table) == {500, 1000}
+    assert table[500]["lu"] > 0
+
+
+def test_series_for_app(chunk_sweep):
+    series = chunk_sweep.series_for("lu")
+    assert len(series) == 2
+    assert all(isinstance(p, SweepPoint) for p in series)
+
+
+def test_render_contains_values(chunk_sweep):
+    text = chunk_sweep.render()
+    assert "chunk_size" in text
+    assert "500" in text and "1000" in text
+
+
+def test_sweep_with_squash_metric():
+    result = sweep_parameter(
+        parameter_name="sig_bits",
+        values=[2048],
+        apply=lambda cfg, v: cfg.with_signature(size_bits=v),
+        metric=squashed_instruction_pct,
+        apps=["water-ns"],
+        instructions=3000,
+    )
+    assert result.points[0].metric >= 0.0
+
+
+def test_missing_app_renders_dash():
+    result = SweepResult(
+        "p",
+        "m",
+        [SweepPoint(1, "a", 2.0, 10.0), SweepPoint(2, "b", 3.0, 10.0)],
+    )
+    text = result.render()
+    assert "-" in text

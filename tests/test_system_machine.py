@@ -1,0 +1,128 @@
+"""Tests for machine assembly and the run loop."""
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, SpinUntil, Store
+from repro.cpu.thread import ThreadProgram
+from repro.errors import ConfigError, DeadlockError
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import (
+    ConsistencyModelKind,
+    bsc_dypvt,
+    paper_config,
+    rc_config,
+    sc_config,
+    scpp_config,
+)
+from repro.system import Machine, run_workload
+
+
+def simple_space(config):
+    space = AddressSpace(
+        AddressMap(config.memory.words_per_line, config.num_directories)
+    )
+    space.allocate("data", 1024)
+    return space
+
+
+class TestConstruction:
+    def test_bulksc_machinery_only_for_bulksc(self):
+        config = sc_config()
+        machine = Machine(config, [], simple_space(config))
+        assert machine.arbiter is None
+        assert machine.bdms == []
+        assert machine.commit_engine is None
+
+    def test_bulksc_gets_bdms_and_arbiter(self):
+        config = bsc_dypvt()
+        machine = Machine(config, [], simple_space(config))
+        assert len(machine.bdms) == 8
+        assert len(machine.dirbdms) == 1
+        assert machine.arbiter is not None
+
+    def test_driver_kinds(self):
+        from repro.consistency import RCDriver, SCDriver, SCPPDriver
+        from repro.core.driver import BulkSCDriver
+
+        expected = {
+            sc_config(): SCDriver,
+            rc_config(): RCDriver,
+            scpp_config(): SCPPDriver,
+            bsc_dypvt(): BulkSCDriver,
+        }
+        for config, kind in expected.items():
+            machine = Machine(config, [], simple_space(config))
+            assert all(isinstance(d, kind) for d in machine.drivers)
+
+    def test_too_many_programs_rejected(self):
+        config = sc_config()
+        programs = [ThreadProgram([Compute(1)]) for __ in range(9)]
+        with pytest.raises(ConfigError):
+            Machine(config, programs, simple_space(config))
+
+    def test_idle_processors_get_empty_programs(self):
+        config = sc_config()
+        machine = Machine(config, [ThreadProgram([Compute(1)])], simple_space(config))
+        assert len(machine.threads) == 8
+        assert machine.threads[5].program.total_instructions == 0
+
+
+class TestRunResult:
+    def test_result_fields(self, any_model_config):
+        config = any_model_config
+        programs = [ThreadProgram([Store(8, 1), Load("r", 8), Compute(10)])]
+        result = run_workload(config, programs, simple_space(config))
+        assert result.cycles > 0
+        assert result.total_instructions == 12
+        assert result.registers[0]["r"] == 1
+        assert result.model_name == config.model.value
+        assert set(result.traffic_bytes) == {"Rd/Wr", "RdSig", "WrSig", "Inv", "Other"}
+
+    def test_per_proc_finish_times(self):
+        config = sc_config()
+        programs = [
+            ThreadProgram([Compute(100)]),
+            ThreadProgram([Compute(10_000)]),
+        ]
+        result = run_workload(config, programs, simple_space(config))
+        assert result.per_proc_finish[1] > result.per_proc_finish[0]
+        assert result.cycles == max(result.per_proc_finish)
+
+    def test_stat_accessor_default(self):
+        config = sc_config()
+        result = run_workload(config, [], simple_space(config))
+        assert result.stat("nonexistent", 7.5) == 7.5
+
+
+class TestDeadlockDetection:
+    def test_unsatisfiable_spin_raises(self):
+        config = sc_config()
+        programs = [ThreadProgram([SpinUntil(8, 42)])]
+        with pytest.raises(DeadlockError):
+            run_workload(config, programs, simple_space(config))
+
+    def test_max_cycles_escape_hatch(self):
+        config = sc_config()
+        programs = [ThreadProgram([SpinUntil(8, 42)])]
+        result = run_workload(
+            config, programs, simple_space(config), max_cycles=1000.0
+        )
+        assert result.cycles >= 0  # returned instead of raising
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [sc_config, rc_config, scpp_config, bsc_dypvt],
+        ids=["sc", "rc", "scpp", "bulksc"],
+    )
+    def test_same_seed_same_cycles(self, factory):
+        from repro.workloads import lock_contention_workload
+
+        def once():
+            config = factory(seed=3)
+            workload = lock_contention_workload(config, increments_per_thread=3)
+            return run_workload(
+                config, workload.programs, workload.address_space
+            ).cycles
+
+        assert once() == once()

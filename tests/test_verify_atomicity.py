@@ -1,0 +1,114 @@
+"""Tests for the chunk-atomicity checker."""
+
+import pytest
+
+from repro.cpu.isa import Compute, Load, Store
+from repro.cpu.thread import ThreadProgram
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_base, bsc_dypvt
+from repro.system import run_workload
+from repro.verify.atomicity import (
+    check_chunk_atomicity,
+    chunk_blocks,
+)
+from repro.verify.history import ExecutionHistory
+
+
+def history_of(*events):
+    """events: (proc, is_store, addr, value, program_index, chunk_id)."""
+    history = ExecutionHistory()
+    for time, (proc, is_store, addr, value, index, chunk) in enumerate(events):
+        history.record(float(time), proc, is_store, addr, value, index, chunk_id=chunk)
+    return history
+
+
+class TestSyntheticHistories:
+    def test_contiguous_blocks_pass(self):
+        history = history_of(
+            (0, True, 1, 1, 0, 1),
+            (0, True, 2, 2, 1, 1),
+            (1, True, 3, 3, 0, 1),
+            (0, False, 3, 3, 2, 2),
+        )
+        assert check_chunk_atomicity(history).ok
+
+    def test_interleaved_chunk_fails(self):
+        """Another processor's op inside a chunk block breaks atomicity."""
+        history = history_of(
+            (0, True, 1, 1, 0, 1),
+            (1, True, 3, 3, 0, 1),
+            (0, True, 2, 2, 1, 1),  # chunk (0,1) resumes - split block
+        )
+        result = check_chunk_atomicity(history)
+        assert not result.ok
+        assert "contiguous" in result.reason
+
+    def test_out_of_order_chunk_ids_fail(self):
+        history = history_of(
+            (0, True, 1, 1, 5, 2),
+            (0, True, 2, 2, 9, 1),  # older chunk commits later
+        )
+        result = check_chunk_atomicity(history)
+        assert not result.ok
+        assert "CReq1" in result.reason
+
+    def test_program_index_regression_fails(self):
+        history = history_of(
+            (0, True, 1, 1, 5, 1),
+            (0, True, 2, 2, 3, 2),  # program order regressed
+        )
+        result = check_chunk_atomicity(history)
+        assert not result.ok
+        assert "program order" in result.reason
+
+    def test_baseline_events_without_chunks_pass(self):
+        history = history_of(
+            (0, True, 1, 1, 0, None),
+            (1, True, 2, 2, 0, None),
+            (0, False, 2, 2, 1, None),
+        )
+        assert check_chunk_atomicity(history).ok
+
+    def test_empty_history_passes(self):
+        assert check_chunk_atomicity(ExecutionHistory()).ok
+
+    def test_chunk_blocks_summary(self):
+        history = history_of(
+            (0, True, 1, 1, 0, 1),
+            (0, True, 2, 2, 1, 1),
+            (1, True, 3, 3, 0, 1),
+        )
+        assert chunk_blocks(history) == [(0, 1, 2), (1, 1, 1)]
+
+
+class TestRealExecutions:
+    @pytest.mark.parametrize("factory", [bsc_base, bsc_dypvt], ids=["base", "dypvt"])
+    def test_bulksc_histories_are_chunk_atomic(self, factory):
+        space = AddressSpace(AddressMap(8, 1))
+        space.allocate("shared", 4096)
+        programs = []
+        for proc in range(4):
+            ops = [Compute(3 + proc * 5)]
+            for i in range(15):
+                ops.append(Store(8 * (i % 8), proc * 100 + i))
+                ops.append(Load("r", 8 * ((i + 1) % 8)))
+                ops.append(Compute(12))
+            programs.append(ThreadProgram(ops, name=f"t{proc}"))
+        for seed in range(3):
+            result = run_workload(factory(seed=seed), programs, space)
+            check = check_chunk_atomicity(result.history)
+            assert check.ok, check.reason
+
+    def test_blocks_reflect_commit_serialization(self):
+        space = AddressSpace(AddressMap(8, 1))
+        space.allocate("shared", 4096)
+        cfg = bsc_dypvt().with_bulksc(chunk_size_instructions=20)
+        ops = []
+        for i in range(12):
+            ops.append(Store(8 * i, i))
+            ops.append(Compute(8))
+        result = run_workload(cfg, [ThreadProgram(ops)], space)
+        blocks = chunk_blocks(result.history)
+        assert len(blocks) >= 2
+        ids = [chunk_id for __, chunk_id, __ in blocks]
+        assert ids == sorted(ids)

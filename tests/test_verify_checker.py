@@ -1,0 +1,110 @@
+"""Tests for the SC witness checker and history recording."""
+
+import pytest
+
+from repro.errors import ConsistencyViolation
+from repro.verify.history import ExecutionHistory
+from repro.verify.sc_checker import (
+    assert_sequential_consistency,
+    check_sequential_consistency,
+)
+
+
+def history_of(*events):
+    """events: (proc, is_store, addr, value, program_index)."""
+    history = ExecutionHistory()
+    for time, (proc, is_store, addr, value, index) in enumerate(events):
+        history.record(float(time), proc, is_store, addr, value, index)
+    return history
+
+
+class TestValidHistories:
+    def test_empty_history_is_sc(self):
+        assert check_sequential_consistency(ExecutionHistory()).ok
+
+    def test_simple_store_load(self):
+        history = history_of(
+            (0, True, 100, 5, 0),
+            (1, False, 100, 5, 0),
+        )
+        assert check_sequential_consistency(history).ok
+
+    def test_load_of_initial_zero(self):
+        history = history_of((0, False, 100, 0, 0))
+        assert check_sequential_consistency(history).ok
+
+    def test_initial_memory_respected(self):
+        history = history_of((0, False, 100, 7, 0))
+        assert check_sequential_consistency(history, {100: 7}).ok
+
+    def test_interleaved_processors(self):
+        history = history_of(
+            (0, True, 1, 10, 0),
+            (1, True, 2, 20, 0),
+            (0, False, 2, 20, 1),
+            (1, False, 1, 10, 1),
+        )
+        assert check_sequential_consistency(history).ok
+
+    def test_same_program_index_allowed(self):
+        """A lock acquire logs a load and a store at one index."""
+        history = history_of(
+            (0, False, 1, 0, 3),
+            (0, True, 1, 1, 3),
+        )
+        assert check_sequential_consistency(history).ok
+
+
+class TestViolations:
+    def test_stale_read_detected(self):
+        history = history_of(
+            (0, True, 100, 5, 0),
+            (1, False, 100, 0, 0),  # reads overwritten value
+        )
+        result = check_sequential_consistency(history)
+        assert not result.ok
+        assert "most recent store" in result.reason
+        assert result.offending_event.proc == 1
+
+    def test_program_order_violation_detected(self):
+        """A store drains after a later load became visible (SB shape)."""
+        history = history_of(
+            (0, False, 2, 0, 1),  # load (program index 1) visible first
+            (0, True, 1, 1, 0),  # store (index 0) visible after
+        )
+        result = check_sequential_consistency(history)
+        assert not result.ok
+        assert "program order" in result.reason
+
+    def test_assert_raises(self):
+        history = history_of(
+            (0, True, 100, 5, 0),
+            (1, False, 100, 3, 0),
+        )
+        with pytest.raises(ConsistencyViolation):
+            assert_sequential_consistency(history)
+
+
+class TestHistoryRecording:
+    def test_disabled_history_records_nothing(self):
+        history = ExecutionHistory(enabled=False)
+        history.record(0.0, 0, True, 1, 1, 0)
+        assert len(history) == 0
+
+    def test_events_for_proc(self):
+        history = history_of(
+            (0, True, 1, 1, 0),
+            (1, True, 2, 2, 0),
+            (0, False, 2, 2, 1),
+        )
+        assert len(history.events_for_proc(0)) == 2
+
+    def test_sequence_numbers_monotone(self):
+        history = history_of((0, True, 1, 1, 0), (0, True, 2, 2, 1))
+        seqs = [e.seq for e in history.events()]
+        assert seqs == [0, 1]
+
+    def test_chunk_id_recorded(self):
+        history = ExecutionHistory()
+        history.record(0.0, 0, True, 1, 1, 0, chunk_id=7)
+        assert next(history.events()).chunk_id == 7

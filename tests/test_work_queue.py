@@ -1,0 +1,81 @@
+"""The work-queue workload: exact task-permutation correctness.
+
+The lock-protected queue head is the canonical migratory datum.  Under
+every model — including BulkSC where pops race speculatively and losers
+squash — the popped task ids must form an exact permutation: no task
+lost, none processed twice.
+"""
+
+import pytest
+
+from repro.params import bsc_base, bsc_dypvt, rc_config, sc_config, scpp_config
+from repro.system import run_workload
+from repro.verify.sc_checker import check_sequential_consistency
+from repro.workloads import work_queue_workload
+
+MODELS = [
+    ("SC", sc_config),
+    ("RC", rc_config),
+    ("SC++", scpp_config),
+    ("BSCbase", bsc_base),
+    ("BSCdypvt", bsc_dypvt),
+]
+
+
+@pytest.mark.parametrize("name,factory", MODELS, ids=[n for n, _ in MODELS])
+def test_tasks_form_exact_permutation(name, factory):
+    config = factory()
+    workload = work_queue_workload(config, tasks_per_worker=3, think_time=25)
+    result = run_workload(config, workload.programs, workload.address_space)
+    total = workload.metadata["total_tasks"]
+    popped = sorted(
+        result.memory.peek(addr) for addr in workload.metadata["result_addrs"]
+    )
+    assert popped == list(range(total)), f"{name}: tasks lost or duplicated"
+    assert result.memory.peek(workload.metadata["head_addr"]) == total
+
+
+@pytest.mark.parametrize(
+    "factory", [bsc_base, bsc_dypvt], ids=["base", "dypvt"]
+)
+def test_bulksc_work_queue_history_is_sc(factory):
+    for seed in range(2):
+        config = factory(seed=seed)
+        workload = work_queue_workload(config, tasks_per_worker=2, think_time=15)
+        result = run_workload(config, workload.programs, workload.address_space)
+        check = check_sequential_consistency(result.history)
+        assert check.ok, check.reason
+
+
+def test_prearbitration_yields_while_spinning():
+    """Regression: a processor that pre-arbitrated (after a squash streak)
+    and then blocked on a held lock must release its reservation, or the
+    lock holder can never commit — a machine-wide livelock this exact
+    configuration used to trigger."""
+    config = bsc_dypvt()
+    workload = work_queue_workload(config, tasks_per_worker=3, think_time=40)
+    result = run_workload(config, workload.programs, workload.address_space)
+    total = workload.metadata["total_tasks"]
+    popped = sorted(
+        result.memory.peek(addr) for addr in workload.metadata["result_addrs"]
+    )
+    assert popped == list(range(total))
+
+
+def test_heavy_contention_terminates_across_seeds():
+    for seed in range(4):
+        config = bsc_dypvt(seed=seed).with_bulksc(
+            chunk_size_instructions=120, prearbitrate_after_squashes=2
+        )
+        workload = work_queue_workload(config, tasks_per_worker=2, think_time=10)
+        result = run_workload(config, workload.programs, workload.address_space)
+        assert result.memory.peek(workload.metadata["head_addr"]) == (
+            workload.metadata["total_tasks"]
+        )
+
+
+def test_work_queue_with_fewer_threads():
+    config = sc_config()
+    workload = work_queue_workload(config, num_threads=3, tasks_per_worker=4)
+    result = run_workload(config, workload.programs, workload.address_space)
+    assert result.memory.peek(workload.metadata["head_addr"]) == 12

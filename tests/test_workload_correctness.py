@@ -1,0 +1,97 @@
+"""Cross-model correctness on the idiom workloads.
+
+Every consistency model must compute the right answers on data-race-free
+programs (DRF-implies-SC covers RC), and the SC-preserving models must
+additionally produce valid SC witnesses on racy ones.
+"""
+
+import pytest
+
+from repro.params import bsc_base, bsc_dypvt, bsc_stpvt, rc_config, sc_config, scpp_config
+from repro.system import run_workload
+from repro.verify.sc_checker import check_sequential_consistency
+from repro.workloads import (
+    false_sharing_workload,
+    lock_contention_workload,
+    partitioned_array_workload,
+    producer_consumer_workload,
+)
+
+ALL_MODELS = [
+    ("SC", sc_config),
+    ("RC", rc_config),
+    ("SC++", scpp_config),
+    ("BSCbase", bsc_base),
+    ("BSCdypvt", bsc_dypvt),
+    ("BSCstpvt", bsc_stpvt),
+]
+SC_MODELS = [(n, f) for n, f in ALL_MODELS if n != "RC"]
+
+
+@pytest.mark.parametrize("name,factory", ALL_MODELS, ids=[n for n, _ in ALL_MODELS])
+class TestLockCounterDRF:
+    def test_counter_total_exact(self, name, factory):
+        """num_threads * increments — the DRF=SC result for every model."""
+        config = factory()
+        workload = lock_contention_workload(config, increments_per_thread=5)
+        result = run_workload(config, workload.programs, workload.address_space)
+        addr = workload.metadata["counter_addrs"][0]
+        assert result.memory.peek(addr) == workload.metadata["expected_total"]
+
+    def test_multiple_counters(self, name, factory):
+        config = factory()
+        workload = lock_contention_workload(
+            config, increments_per_thread=4, num_counters=3
+        )
+        result = run_workload(config, workload.programs, workload.address_space)
+        total = sum(
+            result.memory.peek(addr) for addr in workload.metadata["counter_addrs"]
+        )
+        assert total == workload.metadata["expected_total"]
+
+
+@pytest.mark.parametrize("name,factory", ALL_MODELS, ids=[n for n, _ in ALL_MODELS])
+def test_producer_consumer_sees_complete_payload(name, factory):
+    """MP at workload scale: consumers must read every payload word."""
+    config = factory()
+    workload = producer_consumer_workload(config, payload_words=8, rounds=2)
+    result = run_workload(config, workload.programs, workload.address_space)
+    for proc in range(workload.num_threads):
+        if proc % 2 == 1:  # consumer
+            for round_index in range(2):
+                for i in range(8):
+                    reg = f"d{round_index}_{i}"
+                    assert result.registers[proc][reg] == 100 + round_index, (
+                        f"{name}: consumer {proc} saw stale payload word {i}"
+                    )
+
+
+@pytest.mark.parametrize("name,factory", ALL_MODELS, ids=[n for n, _ in ALL_MODELS])
+def test_partitioned_array_neighbor_reads(name, factory):
+    config = factory()
+    workload = partitioned_array_workload(config, elements_per_thread=4, iterations=2)
+    result = run_workload(config, workload.programs, workload.address_space)
+    for proc in range(workload.num_threads):
+        # After the final barrier each neighbour slot holds `iterations`.
+        for i in range(4):
+            assert result.registers[proc][f"n{i}"] == 2
+
+
+@pytest.mark.parametrize("name,factory", SC_MODELS, ids=[n for n, _ in SC_MODELS])
+def test_false_sharing_is_sc_under_sc_models(name, factory):
+    for seed in range(3):
+        config = factory(seed=seed)
+        workload = false_sharing_workload(config, writes_per_thread=8)
+        result = run_workload(config, workload.programs, workload.address_space)
+        assert check_sequential_consistency(result.history).ok
+        for proc in range(config.num_processors):
+            assert result.registers[proc]["final"] == 8
+
+
+@pytest.mark.parametrize("name,factory", SC_MODELS, ids=[n for n, _ in SC_MODELS])
+def test_lock_counter_history_is_sc(name, factory):
+    config = factory()
+    workload = lock_contention_workload(config, increments_per_thread=3)
+    result = run_workload(config, workload.programs, workload.address_space)
+    check = check_sequential_consistency(result.history)
+    assert check.ok, f"{name}: {check.reason}"
