@@ -7,6 +7,7 @@ Commands:
 * ``compare`` — run one application under several configurations and
   print speedups normalized to the first.
 * ``litmus`` — run the litmus suite under a configuration.
+* ``chaos`` — fault-injection campaigns against the commit pipeline.
 * ``experiments`` — regenerate one of the paper's tables/figures.
 * ``list`` — show the available applications and configurations.
 """
@@ -141,6 +142,39 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.faults.chaos import run_chaos
+    from repro.tools.fault_trace import chaos_report_payload, render_chaos_report
+
+    if args.config not in NAMED_CONFIGS:
+        print(f"unknown configuration {args.config!r}; try `list`", file=sys.stderr)
+        return 2
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            faults=args.faults,
+            workload=args.workload,
+            config_name=args.config,
+            rate=args.rate,
+            no_retry=args.no_retry,
+            instructions=args.instructions,
+            quick=args.quick,
+        )
+    except (ConfigError, ValueError) as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(chaos_report_payload(report), indent=2, sort_keys=True))
+    else:
+        print(render_chaos_report(report))
+    if report.first_error is not None:
+        return 3  # failed diagnosably with a typed ReproError
+    if not report.all_certified:
+        return 1  # SC violation or forbidden outcome — simulator bug
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     runner = SweepRunner(args.instructions, args.seed)
     apps = args.apps or list(ALL_APPS)
@@ -188,6 +222,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_lit.add_argument("--config", default="BSCdypvt")
     p_lit.add_argument("--seed", type=int, default=0)
     p_lit.set_defaults(func=_cmd_litmus)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run fault-injection campaigns against the commit pipeline",
+    )
+    p_chaos.add_argument(
+        "--faults",
+        default="drop,delay,dup",
+        help="comma-separated fault list (drop, delay, dup, reorder, "
+        "storm, squash, kill-acks)",
+    )
+    p_chaos.add_argument(
+        "--workload",
+        default="litmus",
+        choices=["litmus", "synthetic", "mix"],
+        help="workload family to chaos-test (default litmus)",
+    )
+    p_chaos.add_argument("--config", default="BSCdypvt", help="configuration name")
+    p_chaos.add_argument(
+        "--rate", type=float, default=None, help="override per-message fault rate"
+    )
+    p_chaos.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="disable bounded retries: the first lost message fails the run",
+    )
+    p_chaos.add_argument(
+        "--quick", action="store_true", help="trimmed campaign for CI smoke runs"
+    )
+    p_chaos.add_argument("--json", action="store_true", help="emit JSON")
+    p_chaos.add_argument(
+        "--instructions",
+        type=int,
+        default=2000,
+        help="instructions per thread for synthetic workloads (default 2000)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
     p_exp.add_argument(

@@ -142,12 +142,26 @@ class DirBDM:
     # Read-disable of in-flight committed lines (Section 4.3.2)
     # ------------------------------------------------------------------
     def disable_reads(self, commit_id: int, w_signature: Signature) -> None:
-        """Begin bouncing reads that hit the committing chunk's W."""
+        """Begin bouncing reads that hit the committing chunk's W.
+
+        Idempotent: a duplicated commit message re-disabling the same
+        commit is counted and otherwise ignored, so retried grants under
+        fault injection cannot corrupt the disable window.
+        """
+        if commit_id in self._read_disabled:
+            self.stats.bump("dirbdm.duplicate_disables")
+            return
         self._read_disabled[commit_id] = w_signature
 
     def enable_reads(self, commit_id: int) -> None:
-        """All invalidation acks arrived; lines become readable again."""
-        self._read_disabled.pop(commit_id, None)
+        """All invalidation acks arrived; lines become readable again.
+
+        Idempotent against duplicated ack-completion messages.
+        """
+        if commit_id not in self._read_disabled:
+            self.stats.bump("dirbdm.duplicate_enables")
+            return
+        self._read_disabled.pop(commit_id)
 
     def is_read_disabled(self, line_addr: int) -> bool:
         """Membership-test an incoming read against every active commit.

@@ -119,8 +119,23 @@ class Arbiter:
         self._track_occupancy(now)
 
     def release(self, commit_id: int, now: float) -> None:
-        """All invalidation acknowledgements arrived; drop the W."""
-        self._active.pop(commit_id, None)
+        """All invalidation acknowledgements arrived; drop the W.
+
+        Releasing a ``commit_id`` the arbiter never admitted (or already
+        released) is counted in ``released_unknown``; under
+        ``strict_protocol`` it raises, since in a fault-free run it means
+        the commit engine and arbiter disagree about the W list.  Under
+        fault injection duplicate releases are expected (duplicated ack
+        messages) and the count is the interesting signal.
+        """
+        if commit_id not in self._active:
+            self.stats.bump(f"{self._name}.released_unknown")
+            if self.config.strict_protocol:
+                raise ProtocolError(
+                    f"release of unknown commit {commit_id} at {self._name}"
+                )
+            return
+        self._active.pop(commit_id)
         self._track_occupancy(now)
 
     def abort(self, commit_id: int, now: float) -> None:

@@ -20,19 +20,50 @@ One :class:`CommitEngine` per machine orchestrates every commit:
 Modelling note: the paper lets different directory modules re-enable
 access at different times and relies on the arbiter's R-vs-listed-W check
 to forbid the Figure 4(b) out-of-order-commit corner.  We collapse the
-visibility of one chunk to a single event (its grant), which is the limit
-case of that design: the R∩W arbiter check, read-disable bouncing, and
-ack latencies are all still modeled and measured — they shape timing and
+visibility of one chunk to a single event — the *arbiter's grant
+instant* (:meth:`CommitEngine._serialize`), which is the limit case of
+that design: the R∩W arbiter check, read-disable bouncing, and ack
+latencies are all still modeled and measured — they shape timing and
 traffic — while atomicity of the memory image is exact by construction.
+The grant *message* to the processor is a separate (injectable) leg:
+delaying it postpones the processor-side effects but cannot move the
+chunk's position in the SC total order, because that position was fixed
+when the arbiter decided.
+
+Resilience (fault injection)
+----------------------------
+Each injectable message leg — request→decision (``COMMIT_REQUEST``),
+decision→grant reception (``GRANT``), W delivery to each victim
+(``INVALIDATION``), and ack collection (``ACK``) — is routed through the
+machine's :class:`~repro.faults.injector.FaultInjector`, which in the
+fault-free case reproduces the direct scheduling bit-for-bit.  When the
+injector is active a per-transaction watchdog is armed for every phase;
+on timeout it retries the lost leg with exponential backoff up to
+``resilience.max_commit_retries`` times, then raises
+:class:`~repro.errors.CommitTimeoutError` carrying the fault trace.  With
+retries disabled the first timeout raises
+:class:`~repro.errors.FaultInducedError` instead, so a chaos run that
+cannot make progress fails *diagnosably* rather than livelocking.
+
+Why delayed or dropped invalidations cannot break SC: the committer's W
+stays in the arbiter's active list until :meth:`CommitEngine._finish`,
+and ``_finish`` requires every invalidation delivered and the ack sweep
+to succeed.  A victim still reading stale lines therefore cannot commit a
+colliding chunk — the arbiter's R∩W / W∩W checks deny it — until the
+(re-sent) invalidation arrives and squashes it.  Delay converts into
+denial-latency, never into a consistency violation.
 """
 
 from __future__ import annotations
 
+import enum
 from typing import Callable, List, Optional, Set, TYPE_CHECKING
 
 from repro.core.chunk import Chunk, ChunkState
+from repro.engine.event import Event
 from repro.engine.stats import StatsRegistry
-from repro.errors import ProtocolError
+from repro.errors import CommitTimeoutError, FaultInducedError, ProtocolError
+from repro.faults.plan import FaultPoint
 from repro.interconnect.network import Network
 from repro.interconnect.traffic import TrafficClass
 from repro.params import ArbiterTopology, PrivateDataMode
@@ -40,6 +71,16 @@ from repro.signatures.compression import compressed_size_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system import Machine
+
+
+class TxnPhase(enum.Enum):
+    """Where a commit transaction is in its life cycle."""
+
+    DECIDING = "deciding"  # request sent, awaiting arbiter decision
+    GRANT_SENT = "grant-sent"  # admitted at arbiter, grant message in flight
+    ACKS_PENDING = "acks-pending"  # visible; invalidations/acks outstanding
+    DONE = "done"
+    ABANDONED = "abandoned"  # squash raced the transaction
 
 
 class CommitTransaction:
@@ -61,6 +102,21 @@ class CommitTransaction:
         self.retries = 0
         self.r_signature_sent = False
         self.used_g_arbiter = False
+        # Resilience state --------------------------------------------------
+        self.phase = TxnPhase.DECIDING
+        #: Bumped on every (re)send of the commit request; decisions from
+        #: an older send are stale and ignored.
+        self.request_epoch = 0
+        #: True once the arbiter admitted our (non-empty) W — release/abort
+        #: must happen exactly when this is set.
+        self.admitted = False
+        self.retry_pending = False
+        self.home_dirs: List[int] = []
+        self.invalidation_procs: Set[int] = set()
+        #: Victims whose W delivery has not executed yet (lost/late legs).
+        self.pending_invalidations: Set[int] = set()
+        self.watchdog: Optional[Event] = None
+        self.timeouts = 0
 
 
 class CommitEngine:
@@ -76,8 +132,10 @@ class CommitEngine:
         self.sim = machine.sim
         self.config = machine.config
         self.bulk_config = machine.config.bulksc
+        self.resilience = machine.config.bulksc.resilience
         self.network: Network = machine.coherence.network
         self.stats: StatsRegistry = machine.stats
+        self.injector = machine.fault_injector
         self._hop = machine.config.network_hop_cycles
         self._distributed = (
             self.bulk_config.arbiter_topology is ArbiterTopology.DISTRIBUTED
@@ -151,10 +209,17 @@ class CommitEngine:
                 self.network.control(Network.arbiter(r), garb)
             decision_delay += 2 * self._hop
         when = max(at_time, self.sim.now)
-        self.sim.at(
-            when + decision_delay,
-            lambda: self._decide(txn, include_r),
+        txn.request_epoch += 1
+        epoch = txn.request_epoch
+        self.injector.deliver(
+            FaultPoint.COMMIT_REQUEST,
+            lambda: self._decide(txn, include_r, epoch),
+            delay=(when - self.sim.now) + decision_delay,
             label=f"commit{txn.commit_id}.decide",
+        )
+        self._rearm_watchdog(
+            txn, lead=(when - self.sim.now) + decision_delay,
+            timeout=self.resilience.commit_timeout_cycles,
         )
 
     def _arbiter_index_for(self, chunk: Chunk) -> int:
@@ -171,12 +236,22 @@ class CommitEngine:
         )
         return len(ranges) > 1
 
-    def _decide(self, txn: CommitTransaction, r_included: bool) -> None:
+    def _decide(self, txn: CommitTransaction, r_included: bool, epoch: int) -> None:
         chunk = txn.chunk
         now = self.sim.now
+        if txn.phase is not TxnPhase.DECIDING:
+            # A duplicated or reordered request produced a second decision
+            # after we already moved on; the arbiter recognizes the
+            # transaction id and discards it.
+            self.stats.bump("commit.duplicate_decisions")
+            return
+        if epoch != txn.request_epoch:
+            # Decision for a request the watchdog already re-sent.
+            self.stats.bump("commit.stale_decisions")
+            return
         if chunk.state is ChunkState.SQUASHED:
             # Squash raced the arbitration; abandon silently.
-            self.stats.bump("commit.abandoned_by_squash")
+            self._abandon(txn)
             return
         include_r_next = r_included or not self.bulk_config.rsig_optimization
         r_sig = chunk.r_sig if include_r_next else None
@@ -199,17 +274,22 @@ class CommitEngine:
         if not decision.granted:
             txn.retries += 1
             self.stats.bump("commit.denials")
-            self.sim.after(
-                self.bulk_config.commit_retry_delay,
-                lambda: self._retry(txn),
-                label=f"commit{txn.commit_id}.retry",
-            )
+            if not txn.retry_pending:
+                txn.retry_pending = True
+                self.sim.after(
+                    self.bulk_config.commit_retry_delay,
+                    lambda: self._retry(txn),
+                    label=f"commit{txn.commit_id}.retry",
+                )
             return
-        self._granted(txn)
+        self._grant_at_arbiter(txn)
 
     def _retry(self, txn: CommitTransaction) -> None:
+        txn.retry_pending = False
+        if txn.phase is not TxnPhase.DECIDING:
+            return
         if txn.chunk.state is ChunkState.SQUASHED:
-            self.stats.bump("commit.abandoned_by_squash")
+            self._abandon(txn)
             return
         include_r = txn.r_signature_sent or not self.bulk_config.rsig_optimization
         self._send_request(txn, self.sim.now, include_r=include_r)
@@ -217,21 +297,82 @@ class CommitEngine:
     # ------------------------------------------------------------------
     # Grant: the chunk's atomic instant
     # ------------------------------------------------------------------
-    def _granted(self, txn: CommitTransaction) -> None:
+    def _grant_at_arbiter(self, txn: CommitTransaction) -> None:
+        """The arbiter granted: admit W, then ship the grant message."""
         chunk = txn.chunk
         now = self.sim.now
         machine = self.machine
-        chunk.mark(ChunkState.GRANTED)
         self.stats.bump("commit.grants")
         if chunk.w_sig.is_empty():
             self.stats.bump("commit.empty_w_commits")
-        if self._distributed:
+        elif self._distributed:
             ranges = machine.arbiter.ranges_of(
                 chunk.true_written_lines | chunk.true_read_lines
             )
             machine.arbiter.admit(txn.commit_id, chunk.proc, chunk.w_sig, ranges, now)
+            txn.admitted = True
         else:
             machine.arbiter.admit(txn.commit_id, chunk.proc, chunk.w_sig, now)
+            txn.admitted = True
+        self._serialize(txn)
+        txn.phase = TxnPhase.GRANT_SENT
+        self._send_grant(txn)
+
+    def _serialize(self, txn: CommitTransaction) -> None:
+        """Serialize the chunk at the arbiter's grant instant.
+
+        The grant decision — not its reception at the processor — is the
+        chunk's position in the SC total order: every later decision is
+        checked against this W (and every granted R already cleared the
+        list).  Publishing the memory image and the history here, and
+        marking the chunk GRANTED (squash-immune, see
+        :attr:`~repro.core.chunk.Chunk.is_active`), keeps that order
+        intact even when the grant message itself is delayed or dropped:
+        a late grant only postpones the processor-side effects, it cannot
+        let a younger commit overtake this one in the visibility order.
+        """
+        chunk = txn.chunk
+        now = self.sim.now
+        machine = self.machine
+        machine.memory.write_many(chunk.commit_updates())
+        for op in chunk.ops:
+            machine.history.record(
+                now,
+                chunk.proc,
+                op.is_store,
+                op.word_addr,
+                op.value,
+                op.program_index,
+                chunk_id=chunk.chunk_id,
+            )
+        chunk.mark(ChunkState.GRANTED)
+
+    def _send_grant(self, txn: CommitTransaction) -> None:
+        """Deliver the grant to the processor (injectable leg).
+
+        In the fault-free model the decision latency already covers the
+        return hop, so delivery is synchronous; a dropped or delayed grant
+        leaves the W admitted at the arbiter until the watchdog re-sends
+        or the squash path aborts it.
+        """
+        self.injector.deliver(
+            FaultPoint.GRANT,
+            lambda: self._on_grant_received(txn),
+            delay=0.0,
+            label=f"commit{txn.commit_id}.grant",
+        )
+
+    def _on_grant_received(self, txn: CommitTransaction) -> None:
+        chunk = txn.chunk
+        machine = self.machine
+        if txn.phase is not TxnPhase.GRANT_SENT:
+            # Duplicate grant message (dup/reorder fault, or a watchdog
+            # re-send whose original eventually arrived).
+            self.stats.bump("commit.duplicate_grants")
+            return
+        # The chunk was serialized (and marked GRANTED, hence
+        # squash-immune) at the arbiter instant, so no squash can have
+        # raced the grant message here.
         if txn.on_granted is not None:
             txn.on_granted(chunk)
         # Statically-private coherence: Wpriv goes straight to the
@@ -244,9 +385,10 @@ class CommitEngine:
         if chunk.w_sig.is_empty():
             # Only private data written: nothing to expand or invalidate.
             self._make_visible(txn, invalidation_procs=set())
-            self._finish(txn, home_dirs=[])
+            self._finish(txn)
             return
         home_dirs = self._home_directories(chunk)
+        txn.home_dirs = home_dirs
         arb_node = Network.arbiter(self._arbiter_index_for(chunk))
         invalidation_procs: Set[int] = set()
         lookups = 0
@@ -275,6 +417,22 @@ class CommitEngine:
                     compressed_size_bytes(chunk.w_sig),
                 )
         invalidation_procs.discard(chunk.proc)
+        # Signature false-positive storm: the injector can force the
+        # worst case Table 1 allows, where aliasing puts every other
+        # processor on the invalidation list.
+        storm = self.injector.storm_procs(self.config.num_processors, chunk.proc)
+        if storm:
+            extra = set(storm) - invalidation_procs
+            self.stats.bump("commit.storm_extra_invalidations", len(extra))
+            storm_node = Network.directory(home_dirs[0])
+            for proc in extra:
+                self.network.send(
+                    storm_node,
+                    Network.proc(proc),
+                    TrafficClass.WR_SIG,
+                    compressed_size_bytes(chunk.w_sig),
+                )
+            invalidation_procs |= extra
         self.stats.distribution("commit.nodes_per_w_sig").sample(
             len(invalidation_procs)
         )
@@ -290,11 +448,32 @@ class CommitEngine:
                 self.network.send(Network.proc(proc), dir_node, TrafficClass.INV, 0)
             self.network.control(dir_node, arb_node)
         ack_delay = 2 * self._hop + self.DIRECTORY_PROCESS_CYCLES + self.ACK_TURNAROUND_CYCLES
-        self.sim.after(
-            ack_delay,
-            lambda: self._finish(txn, home_dirs),
+        txn.phase = TxnPhase.ACKS_PENDING
+        self._send_ack_sweep(txn, ack_delay)
+        self._rearm_watchdog(
+            txn, lead=ack_delay, timeout=self.resilience.ack_timeout_cycles
+        )
+
+    def _send_ack_sweep(self, txn: CommitTransaction, ack_delay: float) -> None:
+        """Schedule the combined done/ack message (injectable leg)."""
+        self.injector.deliver(
+            FaultPoint.ACK,
+            lambda: self._collect_acks(txn),
+            delay=ack_delay,
             label=f"commit{txn.commit_id}.acks",
         )
+
+    def _collect_acks(self, txn: CommitTransaction) -> None:
+        if txn.phase is not TxnPhase.ACKS_PENDING:
+            self.stats.bump("commit.duplicate_acks")
+            return
+        if txn.pending_invalidations:
+            # Some victims have not seen W yet (lost or delayed delivery);
+            # the arbiter must keep the W listed, so the done message is
+            # rejected and the watchdog will re-sweep.
+            self.stats.bump("commit.acks_incomplete")
+            return
+        self._finish(txn)
 
     def _home_directories(self, chunk: Chunk) -> List[int]:
         dirs = sorted(
@@ -325,33 +504,153 @@ class CommitEngine:
             )
         self.stats.bump("commit.wpriv_expansions")
 
-    def _finish(self, txn: CommitTransaction, home_dirs: List[int]) -> None:
-        for dir_index in home_dirs:
+    def _finish(self, txn: CommitTransaction) -> None:
+        self._cancel_watchdog(txn)
+        txn.phase = TxnPhase.DONE
+        for dir_index in txn.home_dirs:
             self.machine.dirbdms[dir_index].enable_reads(txn.commit_id)
-        self.machine.arbiter.release(txn.commit_id, self.sim.now)
+        if txn.admitted:
+            self.machine.arbiter.release(txn.commit_id, self.sim.now)
+            txn.admitted = False
         self.stats.bump("commit.completed")
+
+    def _abandon(self, txn: CommitTransaction) -> None:
+        """A squash overtook the transaction; withdraw all protocol state."""
+        self._cancel_watchdog(txn)
+        txn.phase = TxnPhase.ABANDONED
+        for dir_index in txn.home_dirs:
+            self.machine.dirbdms[dir_index].enable_reads(txn.commit_id)
+        if txn.admitted:
+            self.machine.arbiter.abort(txn.commit_id, self.sim.now)
+            txn.admitted = False
+        self.stats.bump("commit.abandoned_by_squash")
+
+    # ------------------------------------------------------------------
+    # Watchdogs & bounded retry (resilience)
+    # ------------------------------------------------------------------
+    def _rearm_watchdog(
+        self, txn: CommitTransaction, lead: float, timeout: float
+    ) -> None:
+        """Arm the per-transaction watchdog ``lead + timeout`` cycles out.
+
+        ``lead`` is the latency of the milestone we expect (decision or
+        ack sweep) so injected delays below ``timeout`` never false-fire.
+        Watchdogs only exist under fault injection: in fault-free runs the
+        protocol is closed and the extra events would be pure overhead.
+        """
+        self._cancel_watchdog(txn)
+        if not self.injector.active or timeout <= 0:
+            return
+        txn.watchdog = self.sim.after(
+            lead + timeout,
+            lambda: self._on_watchdog(txn),
+            label=f"commit{txn.commit_id}.watchdog",
+        )
+
+    def _cancel_watchdog(self, txn: CommitTransaction) -> None:
+        if txn.watchdog is not None:
+            txn.watchdog.cancel()
+            txn.watchdog = None
+
+    def _on_watchdog(self, txn: CommitTransaction) -> None:
+        txn.watchdog = None
+        if txn.phase in (TxnPhase.DONE, TxnPhase.ABANDONED):
+            return
+        if txn.chunk.state is ChunkState.SQUASHED:
+            self._abandon(txn)
+            return
+        txn.timeouts += 1
+        self.stats.bump("commit.watchdog_timeouts")
+        injector = self.injector
+        where = (
+            f"commit {txn.commit_id} (P{txn.chunk.proc}, chunk "
+            f"{txn.chunk.chunk_id}) stalled in phase {txn.phase.value} "
+            f"at cycle {self.sim.now:.0f}"
+        )
+        if not self.resilience.retries_enabled:
+            raise FaultInducedError(
+                f"{where} with retries disabled; injected faults: "
+                f"{injector.summary()}",
+                fault_trace=injector.trace,
+            )
+        if txn.timeouts > self.resilience.max_commit_retries:
+            raise CommitTimeoutError(
+                f"{where} after {self.resilience.max_commit_retries} retries; "
+                f"injected faults: {injector.summary()}",
+                fault_trace=injector.trace,
+            )
+        backoff = min(
+            self.resilience.retry_backoff_base * (2 ** (txn.timeouts - 1)),
+            self.resilience.retry_backoff_cap,
+        )
+        if txn.phase is TxnPhase.DECIDING:
+            self.stats.bump("commit.request_resends")
+            include_r = txn.r_signature_sent or not self.bulk_config.rsig_optimization
+            self.sim.after(
+                backoff,
+                lambda: self._resend_request(txn, include_r),
+                label=f"commit{txn.commit_id}.resend",
+            )
+            return
+        if txn.phase is TxnPhase.GRANT_SENT:
+            self.stats.bump("commit.grant_resends")
+            self.sim.after(
+                backoff,
+                lambda: self._resend_grant(txn),
+                label=f"commit{txn.commit_id}.resend",
+            )
+            self._rearm_watchdog(
+                txn, lead=backoff, timeout=self.resilience.commit_timeout_cycles
+            )
+            return
+        # ACKS_PENDING: re-deliver W to victims that never saw it, then
+        # sweep the acks again.
+        self.stats.bump("commit.ack_recollections")
+        for proc in sorted(txn.pending_invalidations):
+            self._send_invalidation(txn, proc)
+        ack_delay = (
+            2 * self._hop + self.DIRECTORY_PROCESS_CYCLES + self.ACK_TURNAROUND_CYCLES
+        )
+        self.sim.after(
+            backoff,
+            lambda: self._send_ack_sweep(txn, ack_delay),
+            label=f"commit{txn.commit_id}.resend",
+        )
+        self._rearm_watchdog(
+            txn,
+            lead=backoff + ack_delay,
+            timeout=self.resilience.ack_timeout_cycles,
+        )
+
+    def _resend_request(self, txn: CommitTransaction, include_r: bool) -> None:
+        if txn.phase is not TxnPhase.DECIDING:
+            return
+        if txn.chunk.state is ChunkState.SQUASHED:
+            self._abandon(txn)
+            return
+        self._send_request(txn, self.sim.now, include_r=include_r)
+
+    def _resend_grant(self, txn: CommitTransaction) -> None:
+        if txn.phase is not TxnPhase.GRANT_SENT:
+            return
+        self._send_grant(txn)
 
     # ------------------------------------------------------------------
     # Visibility: the atomic instant of the chunk
     # ------------------------------------------------------------------
     def _make_visible(self, txn: CommitTransaction, invalidation_procs: Set[int]) -> None:
+        """Processor-side completion of a commit already serialized.
+
+        The memory image and history were published by
+        :meth:`_serialize` at the arbiter's grant instant; this runs when
+        the grant message reaches the processor and performs the remote
+        disambiguation, cache ownership transfer, and wake-ups.
+        """
         chunk = txn.chunk
         now = self.sim.now
         machine = self.machine
-        # 1. Publish the chunk's updates to the committed image.
-        machine.memory.write_many(chunk.commit_updates())
-        # 2. Record the chunk's operations, in program order, as one block.
-        for op in chunk.ops:
-            machine.history.record(
-                now,
-                chunk.proc,
-                op.is_store,
-                op.word_addr,
-                op.value,
-                op.program_index,
-                chunk_id=chunk.chunk_id,
-            )
-        # 3. Remote disambiguation.  W is forwarded only to the directory's
+        txn.invalidation_procs = set(invalidation_procs)
+        # Remote disambiguation.  W is forwarded only to the directory's
         #    invalidation list — the Table 1 filter keeps signature
         #    aliasing from squashing processors that share nothing with
         #    the committer.  For every other processor we verify against
@@ -362,16 +661,43 @@ class CommitEngine:
             if proc == chunk.proc:
                 continue
             if proc in invalidation_procs:
-                machine.deliver_commit_to_proc(proc, chunk, now)
+                txn.pending_invalidations.add(proc)
+                self._send_invalidation(txn, proc)
             else:
                 machine.check_missed_collision(proc, chunk, now)
-        # 5. The committing processor's cache now holds the only copies,
-        #    dirty (Table 1 case 2 made it the owner).
+        # The committing processor's cache now holds the only copies,
+        # dirty (Table 1 case 2 made it the owner).
         for line in chunk.true_written_lines:
             machine.coherence.mark_dirty_owner(chunk.proc, line)
-        # 6. Wake any spinners on values this chunk published.
+        # Wake any spinners on values this chunk published.
         for word_addr, value in chunk.commit_updates():
             machine.sync.notify_write(word_addr, value)
         chunk.mark(ChunkState.COMMITTED)
         self.stats.bump("commit.visible")
+        # Spurious-squash fault: the environment squashes an innocent
+        # processor as though its BDM had found a collision.
+        for victim in self.injector.squash_victims(
+            machine.config.num_processors, chunk.proc
+        ):
+            self.stats.bump("commit.spurious_squashes")
+            machine.inject_spurious_squash(victim, self.sim.now)
         txn.on_committed(chunk)
+
+    def _send_invalidation(self, txn: CommitTransaction, proc: int) -> None:
+        """Forward W to one victim's BDM (injectable leg, sync fault-free)."""
+        self.injector.deliver(
+            FaultPoint.INVALIDATION,
+            lambda: self._deliver_invalidation(txn, proc),
+            delay=0.0,
+            label=f"commit{txn.commit_id}.inv.p{proc}",
+        )
+
+    def _deliver_invalidation(self, txn: CommitTransaction, proc: int) -> None:
+        if proc not in txn.pending_invalidations:
+            # Duplicate delivery (dup fault or watchdog re-send racing the
+            # delayed original); the victim BDM keys on commit_id, so the
+            # second copy is discarded.
+            self.stats.bump("commit.duplicate_invalidations")
+            return
+        txn.pending_invalidations.discard(proc)
+        self.machine.deliver_commit_to_proc(proc, txn.chunk, self.sim.now)

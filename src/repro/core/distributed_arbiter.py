@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.arbiter import Arbiter
 from repro.engine.stats import StatsRegistry
+from repro.errors import ProtocolError
 from repro.params import BulkSCConfig
 from repro.signatures.base import Signature
 
@@ -167,12 +168,26 @@ class DistributedArbiter:
             self.g_arbiter.note_granted(commit_id, w_sig)
 
     def release(self, commit_id: int, now: float) -> None:
-        for r in self._admitted_ranges.pop(commit_id, ()):
+        if commit_id not in self._admitted_ranges:
+            self.stats.bump("distarb.released_unknown")
+            if self.config.strict_protocol:
+                raise ProtocolError(
+                    f"release of unknown commit {commit_id} at distributed arbiter"
+                )
+            return
+        for r in self._admitted_ranges.pop(commit_id):
             self.arbiters[r].release(commit_id, now)
         self.g_arbiter.note_released(commit_id)
 
     def abort(self, commit_id: int, now: float) -> None:
-        for r in self._admitted_ranges.pop(commit_id, ()):
+        if commit_id not in self._admitted_ranges:
+            self.stats.bump("distarb.released_unknown")
+            if self.config.strict_protocol:
+                raise ProtocolError(
+                    f"abort of unknown commit {commit_id} at distributed arbiter"
+                )
+            return
+        for r in self._admitted_ranges.pop(commit_id):
             self.arbiters[r].abort(commit_id, now)
         self.g_arbiter.note_released(commit_id)
 

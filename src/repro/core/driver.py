@@ -39,7 +39,7 @@ from repro.cpu.isa import (
     Store,
     resolve_operand,
 )
-from repro.errors import ProgramError, SimulationError
+from repro.errors import ProgramError, SimulationError, StarvationError
 from repro.interconnect.network import Network
 from repro.params import PrivateDataMode
 
@@ -89,6 +89,84 @@ class BulkSCDriver(ProcessorDriver):
         self.committed_instructions = 0
         self.chunk_squashes = 0
         self.chunk_commits = 0
+        # Starvation watchdog (armed only under fault injection).
+        self._starvation_strikes = 0
+        self._last_progress_commits = 0
+
+    # ==================================================================
+    # Starvation watchdog (resilience, fault injection only)
+    # ==================================================================
+    def start(self) -> None:
+        super().start()
+        resil = self.config.resilience
+        if (
+            self.machine.fault_injector.active
+            and resil.starvation_watchdog_cycles > 0
+        ):
+            self.sim.after(
+                resil.starvation_watchdog_cycles,
+                self._starvation_check,
+                label=f"proc{self.proc}.starvation_watchdog",
+            )
+
+    def _starvation_check(self) -> None:
+        """Escalate a commit-starved processor to pre-arbitration.
+
+        Under fault injection a processor can be denied indefinitely —
+        e.g. a storm keeps squashing it, or duplicated W signatures clog
+        the arbiter list.  Instead of livelocking until ``max_events``,
+        the watchdog reserves the arbiter (the paper's §3.3 forward-
+        progress mechanism) and, if even that fails to produce a commit
+        for ``starvation_strikes_before_error`` consecutive windows,
+        raises a diagnosable :class:`StarvationError`.
+        """
+        if self.state is DriverState.FINISHED:
+            return  # stop rearming; let the queue drain
+        resil = self.config.resilience
+        has_commit_work = (
+            self._arbitrating is not None
+            or bool(self._commit_fifo)
+            or (self._current is not None and not self._current.is_empty)
+        )
+        if self.chunk_commits > self._last_progress_commits or not has_commit_work:
+            # Progress (or legitimately idle: barrier/spin with nothing to
+            # commit — the peers' commit watchdogs cover lost messages).
+            self._last_progress_commits = self.chunk_commits
+            self._starvation_strikes = 0
+        else:
+            self._starvation_strikes += 1
+            self.stats.bump(f"proc{self.proc}.starvation_strikes")
+            if not self._holding_reservation:
+                self.stats.bump(f"proc{self.proc}.starvation_escalations")
+                self._prearbitrate()
+            if self._starvation_strikes >= resil.starvation_strikes_before_error:
+                injector = self.machine.fault_injector
+                raise StarvationError(
+                    f"proc {self.proc} made no commit progress for "
+                    f"{self._starvation_strikes} watchdog windows "
+                    f"({resil.starvation_watchdog_cycles} cycles each) despite "
+                    f"pre-arbitration; injected faults: {injector.summary()}",
+                    fault_trace=injector.trace,
+                )
+        self.sim.after(
+            resil.starvation_watchdog_cycles,
+            self._starvation_check,
+            label=f"proc{self.proc}.starvation_watchdog",
+        )
+
+    def force_spurious_squash(self, now: float) -> bool:
+        """Fault injection: squash all active chunks as if aliasing hit.
+
+        Returns True when something was actually squashed.  Safe at any
+        point: a processor with no active chunks (e.g. parked at a
+        barrier with everything committed) is left untouched.
+        """
+        chain = [c for c in self.bdm.active_chunks() if c.is_active]
+        if not chain:
+            return False
+        self.stats.bump(f"proc{self.proc}.spurious_squashes")
+        self._squash_from(min(chain, key=lambda c: c.chunk_id), now)
+        return True
 
     # ==================================================================
     # Chunk lifecycle

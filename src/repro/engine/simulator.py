@@ -8,12 +8,14 @@ counters off one tree.
 
 from __future__ import annotations
 
+import re
+from collections import Counter
 from typing import Any, Callable, Optional
 
 from repro.engine.event import Event, EventQueue
 from repro.engine.rng import DeterministicRng
 from repro.engine.stats import StatsRegistry
-from repro.errors import SimulationError
+from repro.errors import LivelockError, SimulationError
 
 
 class Simulator:
@@ -33,6 +35,7 @@ class Simulator:
         self._events_fired = 0
         self._stop_requested = False
         self._end_hooks: list[Callable[[], None]] = []
+        self._diagnostic_providers: list[Callable[[], str]] = []
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -74,6 +77,42 @@ class Simulator:
         """Register a callback invoked once when :meth:`run` finishes."""
         self._end_hooks.append(hook)
 
+    def add_diagnostic_provider(self, provider: Callable[[], str]) -> None:
+        """Register a callback contributing lines to the livelock dump.
+
+        Providers are invoked only when the ``max_events`` guard trips, so
+        they may be arbitrarily expensive.  Each should return a short
+        multi-line description of its component's state (e.g. per-driver
+        chunk phases).
+        """
+        self._diagnostic_providers.append(provider)
+
+    def _livelock_report(self, max_events: int) -> str:
+        """Describe what the simulation was doing when the budget blew."""
+        lines = [
+            f"exceeded max_events={max_events} at cycle {self.now}; likely livelock"
+        ]
+        pending = [e for e in self.queue._heap if not e.cancelled]
+        if pending:
+            # Group labels with instance numbers normalized away so
+            # "commit17.decide" and "commit41.decide" count together.
+            groups = Counter(
+                re.sub(r"\d+", "#", e.label) or "<unlabelled>" for e in pending
+            )
+            lines.append(f"pending events: {len(pending)}")
+            for label, count in groups.most_common(8):
+                lines.append(f"  {count:>6} × {label}")
+        else:
+            lines.append("pending events: none (budget consumed by fired events)")
+        for provider in self._diagnostic_providers:
+            try:
+                text = provider()
+            except Exception as exc:  # diagnostics must never mask the abort
+                text = f"<diagnostic provider failed: {exc!r}>"
+            if text:
+                lines.append(text.rstrip())
+        return "\n".join(lines)
+
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the queue drains, ``until`` is reached, or stop().
 
@@ -100,10 +139,7 @@ class Simulator:
             self.now = event.time
             self._events_fired += 1
             if self._events_fired > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at cycle {self.now}; "
-                    "likely livelock"
-                )
+                raise LivelockError(self._livelock_report(max_events))
             event.action()
         for hook in self._end_hooks:
             hook()

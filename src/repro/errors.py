@@ -23,8 +23,39 @@ class DeadlockError(SimulationError):
     """The event queue drained while processors still had work to do."""
 
 
+class LivelockError(SimulationError):
+    """The event loop exceeded its budget; carries a diagnostic dump."""
+
+
 class ProtocolError(SimulationError):
     """A coherence or commit-protocol invariant was violated."""
+
+
+class ResilienceError(SimulationError):
+    """A hardened protocol path gave up after its fault budget ran out.
+
+    Raised by the commit engine's watchdogs and the driver's starvation
+    watchdog.  Carries the injected-fault trace (a list of
+    :class:`~repro.faults.injector.FaultRecord`) so a failing chaos run is
+    diagnosable: the error names exactly which faults were injected and
+    where the protocol stalled.
+    """
+
+    def __init__(self, message: str, fault_trace: object = None):
+        super().__init__(message)
+        self.fault_trace = list(fault_trace or [])
+
+
+class CommitTimeoutError(ResilienceError):
+    """A commit transaction exhausted its bounded resilience retries."""
+
+
+class FaultInducedError(ResilienceError):
+    """An injected fault stalled the protocol while retries were disabled."""
+
+
+class StarvationError(ResilienceError):
+    """A processor made no commit progress despite pre-arbitration."""
 
 
 class ProgramError(ReproError):

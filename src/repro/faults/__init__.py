@@ -1,0 +1,26 @@
+"""Fault injection & resilience: chaos-testing the chunk-commit pipeline.
+
+``plan`` describes what to inject (declarative, immutable), ``injector``
+applies it deterministically to message legs, and ``chaos`` (imported
+lazily — it depends on :mod:`repro.system`) runs whole campaigns and
+checks the SC oracle still holds.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import (
+    KNOWN_FAULTS,
+    FaultKind,
+    FaultPlan,
+    FaultPoint,
+    FaultSpec,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRecord",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultSpec",
+    "KNOWN_FAULTS",
+]

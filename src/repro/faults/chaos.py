@@ -1,0 +1,273 @@
+"""Chaos campaigns: randomized fault schedules + the SC oracle.
+
+A campaign runs a batch of workloads — the litmus suite and/or the
+synthetic applications — under a seeded :class:`~repro.faults.plan.FaultPlan`
+and checks, for every run, that
+
+* the recorded execution history is still certified by
+  :func:`repro.verify.sc_checker.check_sequential_consistency`, and
+* no litmus test observed an SC-forbidden register outcome.
+
+A run that cannot complete must fail *diagnosably*: the hardened commit
+pipeline raises a typed :class:`~repro.errors.ReproError`
+(:class:`~repro.errors.CommitTimeoutError`,
+:class:`~repro.errors.FaultInducedError`,
+:class:`~repro.errors.StarvationError`, ...) carrying the injected-fault
+trace, which the campaign records verbatim.  An *untyped* exception or a
+silent wrong answer is a bug in the simulator, not a fault outcome.
+
+Everything is deterministic per ``(seed, plan, workload)``: each run gets
+its own injector forked from the campaign seed and a per-run label.
+
+This module imports :mod:`repro.system`, so it must not be re-exported
+from ``repro.faults.__init__`` (the system module itself imports the
+injector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cpu.isa import Compute
+from repro.cpu.thread import ThreadProgram
+from repro.errors import ReproError
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import FaultPlan
+from repro.harness.runner import ALL_APPS, build_app_workload
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import NAMED_CONFIGS
+from repro.system import run_workload
+from repro.verify.litmus import all_litmus_tests
+from repro.verify.sc_checker import check_sequential_consistency
+
+#: Event budget per chaos run — small enough to abort a genuine livelock
+#: quickly, large enough that backoff/retry storms still converge.
+CHAOS_MAX_EVENTS = 2_000_000
+
+_STAGGERS = [(1, 1), (1, 60), (60, 1), (200, 7)]
+_QUICK_STAGGERS = [(1, 1), (60, 1)]
+
+
+@dataclass
+class ChaosRunRecord:
+    """Outcome of one workload under one fault schedule."""
+
+    name: str
+    seed: int
+    cycles: float = 0.0
+    faults_injected: int = 0
+    fault_summary: str = ""
+    sc_certified: bool = False
+    sc_reason: str = ""
+    forbidden_outcome: bool = False
+    #: ``"TypeName: message"`` when the run raised a typed ReproError.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.sc_certified and not self.forbidden_outcome
+
+
+@dataclass
+class ChaosReport:
+    """Results of a whole chaos campaign."""
+
+    seed: int
+    workload: str
+    config_name: str
+    plan_description: str
+    retries_enabled: bool
+    runs: List[ChaosRunRecord] = field(default_factory=list)
+    #: Fault trace of the failing run (for diagnosis), if any.
+    failure_trace: List[FaultRecord] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(r.faults_injected for r in self.runs)
+
+    @property
+    def certified(self) -> int:
+        return sum(1 for r in self.runs if r.ok)
+
+    @property
+    def first_error(self) -> Optional[str]:
+        for run in self.runs:
+            if run.error is not None:
+                return run.error
+        return None
+
+    @property
+    def sc_violations(self) -> List[ChaosRunRecord]:
+        return [
+            r
+            for r in self.runs
+            if r.error is None and (not r.sc_certified or r.forbidden_outcome)
+        ]
+
+    @property
+    def all_certified(self) -> bool:
+        return bool(self.runs) and all(r.ok for r in self.runs)
+
+
+def run_chaos(
+    seed: int,
+    faults: str,
+    workload: str = "litmus",
+    config_name: str = "BSCdypvt",
+    rate: Optional[float] = None,
+    no_retry: bool = False,
+    instructions: int = 2000,
+    quick: bool = False,
+) -> ChaosReport:
+    """Run a chaos campaign and return its report.
+
+    Args:
+        seed: Campaign seed; all fault schedules and workloads derive
+            from it, so reports are bit-identical across repeats.
+        faults: Comma-separated fault list for :meth:`FaultPlan.parse`.
+        workload: ``litmus``, ``synthetic``, or ``mix``.
+        config_name: A named configuration (must be a BulkSC variant for
+            the commit pipeline to be exercised).
+        rate: Optional per-message fault rate override.
+        no_retry: Disable the bounded-retry resilience so the first lost
+            message raises :class:`~repro.errors.FaultInducedError`.
+        instructions: Per-thread instruction budget for synthetic apps.
+        quick: Trim the campaign for smoke tests (CI).
+    """
+    if workload not in ("litmus", "synthetic", "mix"):
+        raise ValueError(f"unknown chaos workload {workload!r}")
+    plan = FaultPlan.parse(faults, rate=rate)
+    report = ChaosReport(
+        seed=seed,
+        workload=workload,
+        config_name=config_name,
+        plan_description=plan.describe(),
+        retries_enabled=not no_retry,
+    )
+    if workload in ("litmus", "mix"):
+        if not _litmus_campaign(report, plan, seed, config_name, no_retry, quick):
+            return report
+    if workload in ("synthetic", "mix"):
+        _synthetic_campaign(
+            report, plan, seed, config_name, no_retry, instructions, quick
+        )
+    return report
+
+
+def _config_for(config_name: str, seed: int, no_retry: bool):
+    config = NAMED_CONFIGS[config_name](seed=seed)
+    if no_retry:
+        config = config.with_resilience(retries_enabled=False)
+    return config
+
+
+def _execute(
+    report: ChaosReport,
+    record: ChaosRunRecord,
+    config,
+    programs,
+    space,
+    injector: FaultInjector,
+):
+    """Run one workload and append its record to the report.
+
+    Returns the :class:`~repro.system.RunResult` on completion, or
+    ``None`` when the run raised a typed :class:`ReproError` — which
+    stops the campaign so the failure trace stays front and center.
+    """
+    try:
+        result = run_workload(
+            config,
+            programs,
+            space,
+            record_history=True,
+            fault_injector=injector,
+            max_events=CHAOS_MAX_EVENTS,
+        )
+    except ReproError as exc:
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.faults_injected = injector.total_injected
+        record.fault_summary = injector.summary()
+        report.runs.append(record)
+        report.failure_trace = list(getattr(exc, "fault_trace", ()) or injector.trace)
+        return None
+    record.cycles = result.cycles
+    record.faults_injected = injector.total_injected
+    record.fault_summary = injector.summary()
+    check = check_sequential_consistency(result.history)
+    record.sc_certified = check.ok
+    record.sc_reason = check.reason
+    report.runs.append(record)
+    return result
+
+
+def _litmus_campaign(
+    report: ChaosReport,
+    plan: FaultPlan,
+    seed: int,
+    config_name: str,
+    no_retry: bool,
+    quick: bool,
+) -> bool:
+    tests = all_litmus_tests()
+    seeds = [seed] if quick else [seed, seed + 1]
+    staggers = _QUICK_STAGGERS if quick else _STAGGERS
+    for test in tests:
+        for run_seed in seeds:
+            config = _config_for(config_name, run_seed, no_retry)
+            for gi, stagger in enumerate(staggers):
+                space = AddressSpace(
+                    AddressMap(config.memory.words_per_line, config.num_directories)
+                )
+                addrs = {
+                    var: space.allocate(
+                        var, config.memory.words_per_line
+                    ).start_word
+                    for var in test.variables
+                }
+                programs = [
+                    ThreadProgram(
+                        [Compute(stagger[i % len(stagger)])] + ops, name=f"t{i}"
+                    )
+                    for i, ops in enumerate(test.build(addrs))
+                ]
+                injector = FaultInjector(
+                    plan, seed=seed, label=f"litmus/{test.name}/s{run_seed}/g{gi}"
+                )
+                record = ChaosRunRecord(
+                    name=f"litmus:{test.name}/s{run_seed}/g{gi}", seed=run_seed
+                )
+                result = _execute(report, record, config, programs, space, injector)
+                if result is None:
+                    return False
+                record.forbidden_outcome = bool(test.forbidden(result.registers))
+    return True
+
+
+def _synthetic_campaign(
+    report: ChaosReport,
+    plan: FaultPlan,
+    seed: int,
+    config_name: str,
+    no_retry: bool,
+    instructions: int,
+    quick: bool,
+) -> bool:
+    apps = ALL_APPS[:1] if quick else ALL_APPS[:3]
+    config = _config_for(config_name, seed, no_retry)
+    for app in apps:
+        workload = build_app_workload(app, config, instructions, seed)
+        injector = FaultInjector(plan, seed=seed, label=f"synthetic/{app}")
+        record = ChaosRunRecord(name=f"synthetic:{app}", seed=seed)
+        result = _execute(
+            report,
+            record,
+            config,
+            workload.programs,
+            workload.address_space,
+            injector,
+        )
+        if result is None:
+            return False
+    return True

@@ -1,0 +1,211 @@
+"""Seeded fault injector for the chunk-commit pipeline.
+
+The :class:`FaultInjector` sits between the protocol engines and the
+simulator's scheduler.  Hardened code paths route every injectable
+message leg through :meth:`FaultInjector.deliver` instead of calling
+``sim.after`` directly; the injector then either passes the delivery
+through untouched (the fault-free case is bit-identical to direct
+scheduling) or perturbs it according to the :class:`~repro.faults.plan.FaultPlan`:
+drop it, deliver it late, deliver it twice, or jitter its latency so
+same-cycle messages cross.
+
+Protocol-level faults that are not single messages — signature
+false-positive storms and spurious squashes — are exposed as query
+methods (:meth:`storm_procs`, :meth:`squash_victims`) that the commit
+engine consults at the natural decision points.
+
+Every injected fault is appended to :attr:`trace` as a
+:class:`FaultRecord`; resilience errors carry this trace so a failing
+chaos run names exactly what was done to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.rng import DeterministicRng
+from repro.engine.simulator import Simulator
+from repro.faults.plan import (
+    MESSAGE_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultPoint,
+    FaultSpec,
+)
+
+#: Keep the fault trace bounded; counts are always exact.
+_TRACE_CAP = 5000
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: when, what, and to which message."""
+
+    time: float
+    fault: str
+    point: Optional[str]
+    label: str
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"@{self.point}" if self.point else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time:>10.1f}] {self.fault}{where} on {self.label!r}{detail}"
+
+
+@dataclass
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to message deliveries, deterministically.
+
+    A ``(plan, seed, label)`` triple fully determines the fault schedule:
+    the injector forks its own RNG sub-stream so consuming faults never
+    perturbs workload generation or backoff jitter elsewhere.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan.none)
+    seed: int = 0
+    label: str = "machine"
+
+    def __post_init__(self):
+        self.rng = DeterministicRng(self.seed).fork(f"fault-injector/{self.label}")
+        self.sim: Optional[Simulator] = None
+        self.trace: List[FaultRecord] = []
+        self.counts: Dict[str, int] = {}
+        self._trace_overflow = 0
+        self._message_specs: List[FaultSpec] = [
+            s for s in self.plan.specs if s.kind in MESSAGE_KINDS
+        ]
+        self._storm_spec = self._find(FaultKind.STORM)
+        self._squash_spec = self._find(FaultKind.SQUASH)
+
+    def _find(self, kind: FaultKind) -> Optional[FaultSpec]:
+        for spec in self.plan.specs:
+            if spec.kind is kind:
+                return spec
+        return None
+
+    @property
+    def active(self) -> bool:
+        """True when any fault can ever fire (hardened watchdogs arm on this)."""
+        return self.plan.active
+
+    def bind(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    # ------------------------------------------------------------------
+    # Message-leg injection
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        point: FaultPoint,
+        action: Callable[[], object],
+        delay: float = 0.0,
+        label: str = "",
+    ) -> None:
+        """Deliver a protocol message, possibly perturbed.
+
+        Fault-free behaviour is identical to the un-instrumented code:
+        ``delay <= 0`` invokes ``action`` synchronously, anything else is
+        ``sim.after(delay, action, label=label)``.
+        """
+        sim = self.sim
+        if sim is not None and self._message_specs:
+            for spec in self._message_specs:
+                if point not in spec.points or self.rng.random() >= spec.rate:
+                    continue
+                self._apply(spec, point, action, delay, label, sim)
+                return
+        if delay > 0:
+            assert sim is not None, "deliver() with delay needs a bound simulator"
+            sim.after(delay, action, label=label)
+        else:
+            action()
+
+    def _apply(
+        self,
+        spec: FaultSpec,
+        point: FaultPoint,
+        action: Callable[[], object],
+        delay: float,
+        label: str,
+        sim: Simulator,
+    ) -> None:
+        if spec.kind is FaultKind.DROP:
+            self._record(spec.name, point, label, "message lost")
+            return
+        if spec.kind is FaultKind.DELAY:
+            extra = self.rng.uniform(spec.min_delay, spec.max_delay)
+            self._record(spec.name, point, label, f"+{extra:.0f}cy")
+            sim.after(delay + extra, action, label=label)
+            return
+        if spec.kind is FaultKind.DUP:
+            extra = self.rng.uniform(spec.min_delay, spec.max_delay)
+            self._record(spec.name, point, label, f"echo +{extra:.0f}cy")
+            sim.after(max(delay, 0.001), action, label=label)
+            sim.after(delay + extra, action, label=f"{label}.dup")
+            return
+        if spec.kind is FaultKind.REORDER:
+            jitter = self.rng.uniform(-spec.max_delay, spec.max_delay)
+            new_delay = max(0.001, delay + jitter)
+            self._record(spec.name, point, label, f"{delay:.0f}->{new_delay:.0f}cy")
+            sim.after(new_delay, action, label=label)
+            return
+        raise AssertionError(f"unhandled message fault kind {spec.kind}")
+
+    # ------------------------------------------------------------------
+    # Protocol-level faults
+    # ------------------------------------------------------------------
+    def storm_procs(self, num_procs: int, committer: int) -> List[int]:
+        """Victims of a signature false-positive storm, or ``[]``.
+
+        When the storm fires, the directory behaves as though address
+        aliasing made *every* other processor's signatures intersect the
+        committer's W — the worst case Table 1 allows — so invalidations
+        fan out system-wide and the ack path is stressed.
+        """
+        spec = self._storm_spec
+        if spec is None or num_procs <= 1 or self.rng.random() >= spec.rate:
+            return []
+        victims = [p for p in range(num_procs) if p != committer]
+        self._record(
+            spec.name, None, f"commit by P{committer}", f"{len(victims)} false positives"
+        )
+        return victims
+
+    def squash_victims(self, num_procs: int, committer: int) -> List[int]:
+        """Processors to spuriously squash at this commit, or ``[]``."""
+        spec = self._squash_spec
+        if spec is None or num_procs <= 1 or self.rng.random() >= spec.rate:
+            return []
+        victim = self.rng.choice([p for p in range(num_procs) if p != committer])
+        self._record(spec.name, None, f"commit by P{committer}", f"squash P{victim}")
+        return [victim]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _record(
+        self, fault: str, point: Optional[FaultPoint], label: str, detail: str
+    ) -> None:
+        self.counts[fault] = self.counts.get(fault, 0) + 1
+        if len(self.trace) >= _TRACE_CAP:
+            self._trace_overflow += 1
+            return
+        now = self.sim.now if self.sim is not None else 0.0
+        self.trace.append(
+            FaultRecord(now, fault, point.value if point else None, label, detail)
+        )
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> str:
+        if not self.counts:
+            return "no faults injected"
+        parts = [f"{name}×{n}" for name, n in sorted(self.counts.items())]
+        text = ", ".join(parts)
+        if self._trace_overflow:
+            text += f" ({self._trace_overflow} trace records elided)"
+        return text

@@ -1,0 +1,174 @@
+"""Fault plans: *what* to inject, *where*, and *how often*.
+
+A :class:`FaultPlan` is a declarative, immutable description of an
+adversarial environment for the chunk-commit pipeline: which protocol
+message legs (:class:`FaultPoint`) are subject to which perturbations
+(:class:`FaultKind`) at what rate.  Plans are pure data — the seeded
+randomness lives in :class:`~repro.faults.injector.FaultInjector` — so a
+``(plan, seed)`` pair fully determines every injected fault.
+
+Plans are usually built from the CLI spelling, a comma-separated list of
+fault names::
+
+    FaultPlan.parse("drop,delay,dup")
+    FaultPlan.parse("kill-acks")          # drop *every* ack message
+    FaultPlan.parse("storm,squash", rate=0.1)
+
+Named faults and their defaults:
+
+=============  ============================================================
+``drop``       lose a protocol message (request/grant/invalidation/ack)
+``delay``      deliver a message late (uniform extra latency)
+``dup``        deliver a message twice (tests idempotent handling)
+``reorder``    jitter delivery so same-cycle messages cross
+``storm``      signature false-positive storm: the directory forwards W to
+               processors that share nothing with the committer
+``squash``     spurious squash: a random processor's chunks are squashed
+               as though aliasing had hit
+``kill-acks``  drop *all* acknowledgement messages (rate 1.0) — with
+               retries disabled this must fail diagnosably
+=============  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class FaultPoint(Enum):
+    """A protocol message leg where faults can be injected."""
+
+    COMMIT_REQUEST = "commit-request"  # permission-to-commit -> arbiter decision
+    GRANT = "grant"  # arbiter's grant reply -> processor
+    INVALIDATION = "invalidation"  # committed W signature -> victim processor
+    ACK = "ack"  # invalidation acknowledgements -> arbiter release
+
+
+class FaultKind(Enum):
+    """The perturbation applied to a matched message (or protocol step)."""
+
+    DROP = "drop"
+    DELAY = "delay"
+    DUP = "dup"
+    REORDER = "reorder"
+    STORM = "storm"  # invalidation-list false-positive storm
+    SQUASH = "squash"  # spurious squash of a random processor
+
+
+#: Kinds that act on individual message deliveries.
+MESSAGE_KINDS = frozenset(
+    {FaultKind.DROP, FaultKind.DELAY, FaultKind.DUP, FaultKind.REORDER}
+)
+
+ALL_POINTS: FrozenSet[FaultPoint] = frozenset(FaultPoint)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault family within a plan."""
+
+    kind: FaultKind
+    #: Display name — usually the kind's value, but aliases like
+    #: ``kill-acks`` keep their spelling so errors name the right fault.
+    name: str
+    points: FrozenSet[FaultPoint]
+    rate: float
+    #: Extra-latency bounds for DELAY/DUP/REORDER, in cycles.
+    min_delay: float = 20.0
+    max_delay: float = 400.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ConfigError(
+                f"fault delays must satisfy 0 <= min <= max, got "
+                f"[{self.min_delay}, {self.max_delay}]"
+            )
+        if self.kind in MESSAGE_KINDS and not self.points:
+            raise ConfigError(f"message fault {self.name!r} needs at least one point")
+
+
+def _default_specs() -> dict:
+    return {
+        "drop": FaultSpec(FaultKind.DROP, "drop", ALL_POINTS, rate=0.04),
+        "delay": FaultSpec(
+            FaultKind.DELAY, "delay", ALL_POINTS, rate=0.15, min_delay=20, max_delay=400
+        ),
+        "dup": FaultSpec(
+            FaultKind.DUP, "dup", ALL_POINTS, rate=0.05, min_delay=1, max_delay=120
+        ),
+        "reorder": FaultSpec(
+            FaultKind.REORDER, "reorder", ALL_POINTS, rate=0.10, min_delay=0, max_delay=80
+        ),
+        "storm": FaultSpec(FaultKind.STORM, "storm", frozenset(), rate=0.05),
+        "squash": FaultSpec(FaultKind.SQUASH, "squash", frozenset(), rate=0.03),
+        "kill-acks": FaultSpec(
+            FaultKind.DROP, "kill-acks", frozenset({FaultPoint.ACK}), rate=1.0
+        ),
+    }
+
+
+#: The fault names accepted by :meth:`FaultPlan.parse` (CLI ``--faults``).
+KNOWN_FAULTS: Tuple[str, ...] = tuple(_default_specs())
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault specs, applied independently per message."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: injection disabled, zero overhead."""
+        return cls(())
+
+    @classmethod
+    def parse(cls, spelling: str, rate: Optional[float] = None) -> "FaultPlan":
+        """Build a plan from a comma-separated fault list.
+
+        Args:
+            spelling: e.g. ``"drop,delay,dup"`` (see :data:`KNOWN_FAULTS`).
+            rate: Optional override applied to every spec (``kill-acks``
+                keeps its rate of 1.0 — it is a total-loss scenario by
+                definition).
+        """
+        defaults = _default_specs()
+        specs = []
+        seen = set()
+        for raw in spelling.split(","):
+            name = raw.strip().lower()
+            if not name:
+                continue
+            if name not in defaults:
+                raise ConfigError(
+                    f"unknown fault {name!r}; known faults: {', '.join(KNOWN_FAULTS)}"
+                )
+            if name in seen:
+                continue
+            seen.add(name)
+            spec = defaults[name]
+            if rate is not None and name != "kill-acks":
+                spec = replace(spec, rate=rate)
+            specs.append(spec)
+        plan = cls(tuple(specs))
+        plan.validate()
+        return plan
+
+    def validate(self) -> None:
+        for spec in self.specs:
+            spec.validate()
+
+    @property
+    def active(self) -> bool:
+        return bool(self.specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        return ", ".join(f"{s.name}@{s.rate:g}" for s in self.specs)

@@ -163,6 +163,53 @@ class SignatureConfig:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Commit-pipeline hardening knobs (fault injection & recovery).
+
+    These govern the watchdog/retry machinery that keeps the chunk-commit
+    protocol live when messages are dropped, delayed, or duplicated by a
+    :class:`~repro.faults.injector.FaultInjector`.  The watchdogs are only
+    armed when an active injector is attached, so fault-free simulations
+    are unaffected.
+    """
+
+    #: Cycles a commit request (or grant reply) may be outstanding before
+    #: the processor resends it.
+    commit_timeout_cycles: int = 500
+    #: Cycles the acknowledgement collection may take before the arbiter
+    #: re-collects (retransmitting undelivered invalidations).
+    ack_timeout_cycles: int = 500
+    #: Exponential backoff: first resend waits ``base``, doubling per
+    #: timeout up to ``cap``.
+    retry_backoff_base: int = 100
+    retry_backoff_cap: int = 5000
+    #: Watchdog timeouts allowed per commit transaction before the run is
+    #: aborted with a typed :class:`~repro.errors.CommitTimeoutError`.
+    max_commit_retries: int = 10
+    #: When False, the first watchdog timeout raises a
+    #: :class:`~repro.errors.FaultInducedError` instead of retrying
+    #: (the chaos harness's ``--no-retry`` mode).
+    retries_enabled: bool = True
+    #: Period of the per-processor starvation watchdog; 0 disables it.
+    starvation_watchdog_cycles: int = 25_000
+    #: Consecutive no-progress watchdog periods tolerated (escalating to
+    #: pre-arbitration) before raising a StarvationError.
+    starvation_strikes_before_error: int = 6
+
+    def validate(self) -> None:
+        if self.commit_timeout_cycles <= 0 or self.ack_timeout_cycles <= 0:
+            raise ConfigError("resilience timeouts must be positive")
+        if self.retry_backoff_base <= 0 or self.retry_backoff_cap < self.retry_backoff_base:
+            raise ConfigError("resilience backoff must be positive and cap >= base")
+        if self.max_commit_retries < 1:
+            raise ConfigError("need at least one commit retry")
+        if self.starvation_watchdog_cycles < 0:
+            raise ConfigError("starvation watchdog period cannot be negative")
+        if self.starvation_strikes_before_error < 1:
+            raise ConfigError("need at least one starvation strike")
+
+
+@dataclass(frozen=True)
 class BulkSCConfig:
     """BulkSC-specific parameters (Table 2, right column + Section 5)."""
 
@@ -192,9 +239,15 @@ class BulkSCConfig:
     # serialized (one at a time), instead of overlapping commits with
     # disjoint W signatures.  Kept as an ablation of the advanced design.
     serialize_commits: bool = False
+    # Strict protocol checking: arbiter release/abort of an unknown
+    # commit_id raises ProtocolError instead of being counted and ignored.
+    strict_protocol: bool = False
+    # Fault-recovery hardening (timeouts, bounded retries, watchdogs).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def validate(self) -> None:
         self.signature.validate()
+        self.resilience.validate()
         if self.chunks_per_processor < 1:
             raise ConfigError("need at least one chunk per processor")
         if self.chunk_size_instructions < 1:
@@ -296,6 +349,10 @@ class SystemConfig:
     def with_signature(self, **kwargs) -> "SystemConfig":
         sig = replace(self.bulksc.signature, **kwargs)
         return replace(self, bulksc=replace(self.bulksc, signature=sig))
+
+    def with_resilience(self, **kwargs) -> "SystemConfig":
+        resil = replace(self.bulksc.resilience, **kwargs)
+        return replace(self, bulksc=replace(self.bulksc, resilience=resil))
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.cpu.sync import SyncManager
 from repro.cpu.thread import ThreadContext, ThreadProgram
 from repro.engine.simulator import Simulator
 from repro.errors import ConfigError, DeadlockError
+from repro.faults.injector import FaultInjector
 from repro.interconnect.network import Network
 from repro.interconnect.traffic import TrafficClass
 from repro.memory.address import AddressSpace
@@ -81,6 +82,7 @@ class Machine:
         programs: List[ThreadProgram],
         address_space: AddressSpace,
         record_history: bool = True,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         config.validate()
         if len(programs) > config.num_processors:
@@ -90,6 +92,13 @@ class Machine:
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.stats = self.sim.stats
+        # Fault injection: an inactive injector is a pure passthrough, so
+        # every machine carries one and hardened paths need no None checks.
+        self.fault_injector = (
+            fault_injector if fault_injector is not None else FaultInjector()
+        )
+        self.fault_injector.bind(self.sim)
+        self.sim.add_diagnostic_provider(self._driver_diagnostics)
         self.memory = MainMemory()
         use_dir_cache = (
             config.model is ConsistencyModelKind.BULKSC
@@ -199,6 +208,31 @@ class Machine:
         driver = self.drivers[proc]
         assert isinstance(driver, BulkSCDriver)
         driver.on_incoming_commit(chunk, now, on_invalidation_list=True)
+
+    def inject_spurious_squash(self, proc: int, now: float) -> None:
+        """Fault injection: squash ``proc``'s active chunks out of the blue."""
+        driver = self.drivers[proc]
+        if isinstance(driver, BulkSCDriver):
+            driver.force_spurious_squash(now)
+
+    def _driver_diagnostics(self) -> str:
+        """Per-driver state for the livelock diagnostic dump."""
+        lines = ["per-driver state:"]
+        for d in self.drivers:
+            desc = f"  proc{d.proc}: {d.state.value}"
+            reason = getattr(d, "_block_reason", None)
+            if reason:
+                desc += f" ({reason})"
+            if isinstance(d, BulkSCDriver):
+                desc += (
+                    f" commits={d.chunk_commits} squashes={d.chunk_squashes}"
+                    f" fifo={len(d._commit_fifo)}"
+                    f" arbitrating={d._arbitrating is not None}"
+                )
+            lines.append(desc)
+        if self.fault_injector.active:
+            lines.append(f"injected faults: {self.fault_injector.summary()}")
+        return "\n".join(lines)
 
     def check_missed_collision(self, proc: int, chunk: Chunk, now: float) -> None:
         """Safety net for the directory's invalidation-list filter.
@@ -369,11 +403,15 @@ class Machine:
     def driver_finished(self, driver: ProcessorDriver) -> None:
         self._finished_count += 1
 
-    def run(self, max_cycles: Optional[float] = None) -> RunResult:
+    def run(
+        self,
+        max_cycles: Optional[float] = None,
+        max_events: int = 50_000_000,
+    ) -> RunResult:
         """Execute the workload to completion and collect results."""
         for driver in self.drivers:
             driver.start()
-        self.sim.run(until=max_cycles)
+        self.sim.run(until=max_cycles, max_events=max_events)
         unfinished = [d.proc for d in self.drivers if d.state is not DriverState.FINISHED]
         if unfinished and max_cycles is None:
             details = {
@@ -410,7 +448,11 @@ def run_workload(
     address_space: AddressSpace,
     record_history: bool = True,
     max_cycles: Optional[float] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    max_events: int = 50_000_000,
 ) -> RunResult:
     """Build a machine, run it to completion, and return the result."""
-    machine = Machine(config, programs, address_space, record_history)
-    return machine.run(max_cycles)
+    machine = Machine(
+        config, programs, address_space, record_history, fault_injector
+    )
+    return machine.run(max_cycles, max_events=max_events)

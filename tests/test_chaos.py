@@ -1,0 +1,134 @@
+"""Tests for the chaos harness: campaigns, the SC oracle, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.tools.fault_trace import (
+    chaos_report_payload,
+    render_chaos_report,
+    render_fault_trace,
+)
+from repro.__main__ import main
+
+
+class TestChaosCampaigns:
+    def test_quick_litmus_campaign_certifies_under_faults(self):
+        report = run_chaos(seed=7, faults="drop,delay,dup", quick=True)
+        assert report.all_certified
+        assert report.first_error is None
+        assert not report.sc_violations
+        # Faults were actually injected — the campaign is not a no-op.
+        assert report.total_faults > 0
+        assert report.certified == len(report.runs) > 0
+
+    def test_kill_acks_without_retries_fails_diagnosably(self):
+        report = run_chaos(seed=7, faults="kill-acks", no_retry=True, quick=True)
+        assert report.first_error is not None
+        assert report.first_error.startswith("FaultInducedError")
+        assert "kill-acks" in report.first_error
+        assert not report.all_certified
+        # The failing run carries the injected-fault trace for diagnosis.
+        assert report.failure_trace
+        assert report.failure_trace[0].fault == "kill-acks"
+        # The campaign stops at the failure.
+        assert report.runs[-1].error == report.first_error
+
+    def test_kill_acks_with_retries_exhausts_and_times_out(self):
+        report = run_chaos(seed=7, faults="kill-acks", quick=True)
+        assert report.first_error is not None
+        assert report.first_error.startswith("CommitTimeoutError")
+        assert "kill-acks" in report.first_error
+
+    def test_deterministic_per_seed(self):
+        a = run_chaos(seed=11, faults="drop,delay,dup,reorder", quick=True)
+        b = run_chaos(seed=11, faults="drop,delay,dup,reorder", quick=True)
+        assert chaos_report_payload(a) == chaos_report_payload(b)
+
+    def test_different_seeds_differ(self):
+        a = run_chaos(seed=11, faults="drop,delay", quick=True)
+        b = run_chaos(seed=12, faults="drop,delay", quick=True)
+        # Fault schedules are seed-derived, so the campaigns diverge.
+        assert chaos_report_payload(a) != chaos_report_payload(b)
+
+    def test_synthetic_campaign(self):
+        report = run_chaos(
+            seed=3,
+            faults="drop,delay",
+            workload="synthetic",
+            instructions=300,
+            quick=True,
+        )
+        assert report.all_certified
+        assert report.runs[0].name.startswith("synthetic:")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos workload"):
+            run_chaos(seed=0, faults="drop", workload="bogus")
+
+
+class TestRendering:
+    def test_success_report_mentions_certification(self):
+        report = run_chaos(seed=7, faults="drop", quick=True)
+        text = render_chaos_report(report)
+        assert "SC certified by verify.sc_checker" in text
+
+    def test_failure_report_includes_trace(self):
+        report = run_chaos(seed=7, faults="kill-acks", no_retry=True, quick=True)
+        text = render_chaos_report(report)
+        assert "diagnosable failure" in text
+        assert "kill-acks@ack" in text
+
+    def test_trace_rendering_elides(self):
+        report = run_chaos(seed=7, faults="kill-acks", quick=True)
+        rendered = render_fault_trace(report.failure_trace, limit=2)
+        if len(report.failure_trace) > 2:
+            assert "elided" in rendered
+        assert render_fault_trace([]) == "  (no faults were injected)"
+
+    def test_payload_is_json_serializable(self):
+        report = run_chaos(seed=7, faults="drop,delay", quick=True)
+        payload = chaos_report_payload(report)
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["all_certified"] is True
+        assert round_tripped["total_faults"] == report.total_faults
+
+
+class TestChaosCLI:
+    def test_certified_campaign_exits_zero(self, capsys):
+        code = main(
+            ["chaos", "--seed", "7", "--faults", "drop,delay,dup", "--quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SC certified" in out
+
+    def test_kill_acks_no_retry_exits_three(self, capsys):
+        code = main(
+            ["chaos", "--seed", "7", "--faults", "kill-acks", "--no-retry", "--quick"]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "FaultInducedError" in out
+        assert "kill-acks" in out
+
+    def test_unknown_config_exits_two(self, capsys):
+        code = main(["chaos", "--config", "NOPE", "--quick"])
+        assert code == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_unknown_fault_exits_two(self, capsys):
+        code = main(["chaos", "--faults", "gamma-ray", "--quick"])
+        assert code == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["chaos", "--seed", "7", "--faults", "drop", "--quick", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_certified"] is True
+        assert payload["seed"] == 7
+        assert payload["first_error"] is None
