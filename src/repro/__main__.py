@@ -8,6 +8,8 @@ Commands:
   print speedups normalized to the first.
 * ``litmus`` — run the litmus suite under a configuration.
 * ``chaos`` — fault-injection campaigns against the commit pipeline.
+* ``analyze`` — static analysis: conflict graphs, races, SC-outcome
+  enumeration, and the determinism lint (no simulation).
 * ``experiments`` — regenerate one of the paper's tables/figures.
 * ``list`` — show the available applications and configurations.
 """
@@ -260,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    from repro.analysis.cli import add_analyze_parser
+
+    add_analyze_parser(sub)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
     p_exp.add_argument(

@@ -1,0 +1,258 @@
+"""The shared analysis core: per-thread address footprints.
+
+Every static pass starts from the same question — *which memory words
+does each op touch, under which synchronization context?* — so the
+extraction lives here, once.  Walking a :class:`~repro.cpu.thread.ThreadProgram`
+produces one :class:`Access` per memory-touching op, annotated with
+
+* the word address (always concrete in this IR — only store *values*
+  can be register-dependent, in which case the access is flagged
+  ``value_symbolic``);
+* the **lockset** held at that point (Eraser-style: the set of lock
+  words acquired but not yet released);
+* the **barrier phase vector**: for each barrier id, how many
+  generations of that barrier the thread has completed before the op.
+
+The walk also performs the structural lint the downstream passes rely
+on: lock acquire/release imbalance, double-acquire (self-deadlock),
+and re-acquired registers are reported as warnings instead of crashing
+the analyzer — malformed programs are exactly what a static tool must
+survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.cpu.isa import (
+    Barrier,
+    Io,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Op,
+    OpKind,
+    Reg,
+    RegPlus,
+    SpinUntil,
+    Store,
+)
+from repro.cpu.thread import ThreadProgram
+
+#: Immutable barrier phase vector: ((barrier_id, completed_generations), ...).
+PhaseVector = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access of one op, in its synchronization context."""
+
+    thread: int
+    op_index: int
+    kind: OpKind
+    addr: int
+    is_read: bool
+    is_write: bool
+    #: Lock/spin/barrier traffic rather than data (lock words, spin flags).
+    is_sync: bool
+    #: The written value depends on registers (statically unknown).
+    value_symbolic: bool
+    lockset: FrozenSet[int]
+    barrier_phases: PhaseVector
+
+    @property
+    def node(self) -> Tuple[int, int]:
+        """Graph identity: ``(thread, op_index)``."""
+        return (self.thread, self.op_index)
+
+    def describe(self) -> str:
+        mode = "RW" if (self.is_read and self.is_write) else (
+            "W" if self.is_write else "R"
+        )
+        tag = " sync" if self.is_sync else ""
+        return (
+            f"t{self.thread}#{self.op_index} {self.kind.value} "
+            f"{mode} @{self.addr:#x}{tag}"
+        )
+
+
+@dataclass
+class ThreadFootprint:
+    """Everything the static passes need to know about one thread."""
+
+    thread: int
+    name: str
+    accesses: List[Access] = field(default_factory=list)
+    #: Lock words this thread acquires or releases.
+    lock_addrs: FrozenSet[int] = frozenset()
+    #: Flag words this thread spins on.
+    spin_addrs: FrozenSet[int] = frozenset()
+    #: barrier_id -> number of occurrences in the thread.
+    barrier_counts: Dict[int, int] = field(default_factory=dict)
+    #: Structural problems found during the walk (human-readable).
+    warnings: List[str] = field(default_factory=list)
+    #: Locks still held when the program ends.
+    unreleased_locks: FrozenSet[int] = frozenset()
+
+    @property
+    def reads(self) -> FrozenSet[int]:
+        return frozenset(a.addr for a in self.accesses if a.is_read)
+
+    @property
+    def writes(self) -> FrozenSet[int]:
+        return frozenset(a.addr for a in self.accesses if a.is_write)
+
+
+@dataclass
+class ProgramAnalysis:
+    """The analysis core's output over a whole multi-threaded program."""
+
+    footprints: List[ThreadFootprint]
+    #: Addresses used for synchronization by *any* thread (lock words,
+    #: spin flags): accesses to these are classified sync everywhere.
+    sync_addrs: FrozenSet[int]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.footprints)
+
+    @property
+    def warnings(self) -> List[str]:
+        out: List[str] = []
+        for fp in self.footprints:
+            out.extend(f"t{fp.thread}: {w}" for w in fp.warnings)
+        return out
+
+    def all_accesses(self) -> List[Access]:
+        return [a for fp in self.footprints for a in fp.accesses]
+
+
+def _phase_vector(counts: Dict[int, int]) -> PhaseVector:
+    return tuple(sorted(counts.items()))
+
+
+def _walk_thread(thread: int, name: str, ops: Sequence[Op]) -> ThreadFootprint:
+    fp = ThreadFootprint(thread=thread, name=name)
+    lockset: List[int] = []  # acquisition order, for imbalance reporting
+    barrier_done: Dict[int, int] = {}
+    lock_addrs = set()
+    spin_addrs = set()
+    regs_written: Dict[str, int] = {}
+
+    def access(
+        op_index: int,
+        kind: OpKind,
+        addr: int,
+        *,
+        read: bool,
+        write: bool,
+        sync: bool,
+        symbolic: bool = False,
+    ) -> None:
+        fp.accesses.append(
+            Access(
+                thread=thread,
+                op_index=op_index,
+                kind=kind,
+                addr=addr,
+                is_read=read,
+                is_write=write,
+                is_sync=sync,
+                value_symbolic=symbolic,
+                lockset=frozenset(lockset),
+                barrier_phases=_phase_vector(barrier_done),
+            )
+        )
+
+    for index, op in enumerate(ops):
+        if isinstance(op, Load):
+            if op.reg in regs_written:
+                fp.warnings.append(
+                    f"op {index}: register {op.reg!r} reloaded (previously "
+                    f"written at op {regs_written[op.reg]}); final value wins"
+                )
+            regs_written[op.reg] = index
+            access(index, op.kind, op.addr, read=True, write=False, sync=False)
+        elif isinstance(op, Store):
+            symbolic = isinstance(op.value, (Reg, RegPlus))
+            access(
+                index, op.kind, op.addr,
+                read=False, write=True, sync=False, symbolic=symbolic,
+            )
+        elif isinstance(op, LockAcquire):
+            lock_addrs.add(op.addr)
+            if op.addr in lockset:
+                fp.warnings.append(
+                    f"op {index}: acquire of lock {op.addr:#x} already held "
+                    "(self-deadlock at run time)"
+                )
+            # Test-and-set: the acquire both reads and writes the lock word.
+            access(index, op.kind, op.addr, read=True, write=True, sync=True)
+            lockset.append(op.addr)
+        elif isinstance(op, LockRelease):
+            lock_addrs.add(op.addr)
+            if op.addr in lockset:
+                lockset.remove(op.addr)
+            else:
+                fp.warnings.append(
+                    f"op {index}: release of lock {op.addr:#x} never acquired"
+                )
+            access(index, op.kind, op.addr, read=False, write=True, sync=True)
+        elif isinstance(op, Barrier):
+            barrier_done[op.barrier_id] = barrier_done.get(op.barrier_id, 0) + 1
+            fp.barrier_counts[op.barrier_id] = barrier_done[op.barrier_id]
+        elif isinstance(op, SpinUntil):
+            spin_addrs.add(op.addr)
+            access(index, op.kind, op.addr, read=True, write=False, sync=True)
+        elif isinstance(op, Io):
+            # Device space is disjoint from shared memory: no footprint.
+            pass
+        # Compute and Fence touch no memory.
+
+    if lockset:
+        fp.unreleased_locks = frozenset(lockset)
+        held = ", ".join(f"{a:#x}" for a in lockset)
+        fp.warnings.append(f"program ends holding lock(s) {held}")
+    fp.lock_addrs = frozenset(lock_addrs)
+    fp.spin_addrs = frozenset(spin_addrs)
+    return fp
+
+
+def analyze_programs(
+    programs: Sequence[ThreadProgram],
+) -> ProgramAnalysis:
+    """Extract per-thread footprints for every static pass.
+
+    Accepts the same ``List[ThreadProgram]`` that :func:`repro.system.run_workload`
+    takes, so a workload can be analyzed and simulated from one object.
+    """
+    footprints = [
+        _walk_thread(i, getattr(p, "name", f"t{i}"), list(p))
+        for i, p in enumerate(programs)
+    ]
+    sync_addrs = frozenset().union(
+        *(fp.lock_addrs for fp in footprints),
+        *(fp.spin_addrs for fp in footprints),
+    ) if footprints else frozenset()
+    # Accesses were classified per-thread; re-classify against the global
+    # sync-address set (a flag written by one thread and spun on by another
+    # is sync traffic on both sides).
+    for fp in footprints:
+        fp.accesses = [
+            a if (a.is_sync or a.addr not in sync_addrs)
+            else Access(
+                thread=a.thread,
+                op_index=a.op_index,
+                kind=a.kind,
+                addr=a.addr,
+                is_read=a.is_read,
+                is_write=a.is_write,
+                is_sync=True,
+                value_symbolic=a.value_symbolic,
+                lockset=a.lockset,
+                barrier_phases=a.barrier_phases,
+            )
+            for a in fp.accesses
+        ]
+    return ProgramAnalysis(footprints=footprints, sync_addrs=sync_addrs)

@@ -1,0 +1,242 @@
+"""Rendering for the ``analyze`` CLI: human-readable and JSON payloads.
+
+Mirrors the ``chaos`` subcommand's conventions: one ``render_*`` and
+one ``*_payload`` function per report kind, payloads built purely from
+the analysis dataclasses so they serialize with ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.conflict_graph import ChunkConflict, StaticConflictReport
+from repro.analysis.detlint import LintFinding
+from repro.analysis.outcomes import EnumerationResult
+from repro.analysis.races import RaceReport
+
+
+# -- conflict graph ----------------------------------------------------
+
+def conflict_report_payload(
+    name: str,
+    report: StaticConflictReport,
+    chunk_conflicts: Sequence[ChunkConflict] = (),
+    chunk_size: int = 0,
+) -> Dict[str, object]:
+    return {
+        "program": name,
+        "threads": report.num_threads,
+        "accesses": report.num_accesses,
+        "conflict_edges": [
+            {
+                "kind": e.kind,
+                "addr": e.addr,
+                "sync": e.sync,
+                "a": {"thread": e.a.thread, "op": e.a.op_index,
+                      "op_kind": e.a.kind.value},
+                "b": {"thread": e.b.thread, "op": e.b.op_index,
+                      "op_kind": e.b.kind.value},
+            }
+            for e in report.edges
+        ],
+        "critical_cycles": [
+            {
+                "nodes": [list(n) for n in c.nodes],
+                "witness": [e.describe() for e in c.edges],
+                "delay_pairs": [
+                    [list(a), list(b)] for a, b in c.delay_pairs
+                ],
+            }
+            for c in report.cycles
+        ],
+        "cycles_truncated": report.cycles_truncated,
+        "delay_set": sorted(
+            [list(a), list(b)] for a, b in report.delay_set
+        ),
+        "hot_addrs": [
+            {"addr": addr, "conflicts": count}
+            for addr, count in report.hot_addrs
+        ],
+        "chunk_size": chunk_size,
+        "chunk_conflicts": [
+            {
+                "a": [c.thread_a, c.chunk_a],
+                "b": [c.thread_b, c.chunk_b],
+                "addrs": list(c.addrs),
+            }
+            for c in chunk_conflicts
+        ],
+        "warnings": list(report.warnings),
+    }
+
+
+def render_conflict_report(
+    name: str,
+    report: StaticConflictReport,
+    chunk_conflicts: Sequence[ChunkConflict] = (),
+    chunk_size: int = 0,
+) -> str:
+    lines = [
+        f"static conflict analysis: {name}",
+        f"  threads {report.num_threads}, memory accesses {report.num_accesses}",
+        f"  conflict edges {len(report.edges)} "
+        f"({len(report.data_edges)} data, "
+        f"{len(report.edges) - len(report.data_edges)} sync)",
+    ]
+    if report.hot_addrs:
+        hottest = ", ".join(
+            f"{addr:#x}({count})" for addr, count in report.hot_addrs[:6]
+        )
+        lines.append(f"  squash hotspots: {hottest}")
+    if report.cycles:
+        suffix = " (truncated)" if report.cycles_truncated else ""
+        lines.append(
+            f"  critical cycles {len(report.cycles)}{suffix} — op pairs whose "
+            "program order SC must enforce:"
+        )
+        for cycle in report.cycles[:8]:
+            lines.append(cycle.describe())
+            lines.append("")
+        if len(report.cycles) > 8:
+            lines.append(f"  ... and {len(report.cycles) - 8} more")
+    else:
+        lines.append("  no critical cycles: every interleaving is SC-equivalent")
+    if chunk_size:
+        lines.append(
+            f"  chunk conflicts at chunk_size={chunk_size}: "
+            f"{len(chunk_conflicts)}"
+        )
+        for conflict in list(chunk_conflicts)[:10]:
+            lines.append(f"    {conflict.describe()}")
+        if len(chunk_conflicts) > 10:
+            lines.append(f"    ... and {len(chunk_conflicts) - 10} more")
+    for warning in report.warnings:
+        lines.append(f"  warning: {warning}")
+    return "\n".join(lines)
+
+
+# -- races -------------------------------------------------------------
+
+def race_report_payload(name: str, report: RaceReport) -> Dict[str, object]:
+    return {
+        "program": name,
+        "counts": report.counts(),
+        "races": [
+            {
+                "addr": p.edge.addr,
+                "kind": p.edge.kind,
+                "a": p.edge.a.describe(),
+                "b": p.edge.b.describe(),
+                "why": p.why,
+            }
+            for p in report.races
+        ],
+        "pairs": [
+            {
+                "classification": p.classification,
+                "addr": p.edge.addr,
+                "kind": p.edge.kind,
+                "a": p.edge.a.describe(),
+                "b": p.edge.b.describe(),
+                "why": p.why,
+            }
+            for p in report.pairs
+        ],
+        "warnings": list(report.warnings),
+        "ok": report.ok,
+    }
+
+
+def render_race_report(name: str, report: RaceReport) -> str:
+    counts = report.counts()
+    summary = ", ".join(f"{k} {v}" for k, v in sorted(counts.items()))
+    lines = [
+        f"race analysis: {name}",
+        f"  conflicting pairs {len(report.pairs)}"
+        + (f" ({summary})" if summary else ""),
+    ]
+    if report.races:
+        lines.append(f"  DATA RACES: {len(report.races)}")
+        for pair in report.races:
+            lines.append(f"    {pair.edge.describe()}")
+            lines.append(f"      {pair.why}")
+    else:
+        lines.append("  no data races: every conflict is synchronized")
+    for pair in report.pairs:
+        if not pair.is_race:
+            lines.append(f"  [{pair.classification}] {pair.edge.describe()}")
+    for warning in report.warnings:
+        lines.append(f"  warning: {warning}")
+    return "\n".join(lines)
+
+
+# -- outcomes ----------------------------------------------------------
+
+def outcome_payload(name: str, result: EnumerationResult) -> Dict[str, object]:
+    return {
+        "program": name,
+        "chunk_size": result.chunk_size,
+        "states_explored": result.states_explored,
+        "final_states": [
+            {
+                "registers": {
+                    f"t{t}": dict(regs)
+                    for t, regs in enumerate(s.registers)
+                },
+                "memory": {hex(a): v for a, v in s.memory},
+                "devices": {str(d): v for d, v in s.devices},
+            }
+            for s in result.final_states
+        ],
+        "deadlocks": [s.describe() for s in result.deadlocks],
+        "ok": result.ok,
+    }
+
+
+def render_outcomes(name: str, result: EnumerationResult) -> str:
+    lines = [
+        f"SC outcome enumeration: {name} (chunk_size={result.chunk_size})",
+        f"  states explored {result.states_explored}, "
+        f"distinct final states {len(result.final_states)}",
+    ]
+    for state in result.final_states:
+        lines.append(f"    {state.describe()}")
+    if result.deadlocks:
+        lines.append(f"  DEADLOCKS reachable: {len(result.deadlocks)}")
+        for state in result.deadlocks:
+            lines.append(f"    {state.describe()}")
+    return "\n".join(lines)
+
+
+# -- detlint -----------------------------------------------------------
+
+def detlint_payload(
+    findings: Sequence[LintFinding], files_checked: int
+) -> Dict[str, object]:
+    return {
+        "files_checked": files_checked,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "ok": not findings,
+    }
+
+
+def render_detlint(
+    findings: Sequence[LintFinding], files_checked: int
+) -> str:
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(finding.describe())
+    lines.append(
+        f"detlint: {files_checked} files checked, {len(findings)} finding"
+        + ("" if len(findings) == 1 else "s")
+    )
+    return "\n".join(lines)

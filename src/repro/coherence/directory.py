@@ -114,7 +114,7 @@ class DirectoryModule:
         wanted = set(set_indices)
         if num_sets == self.INDEX_SETS:
             out: List[DirectoryEntry] = []
-            for set_index in wanted:
+            for set_index in sorted(wanted):
                 out.extend(self._buckets.get(set_index, ()))
             return out
         mask = num_sets - 1

@@ -425,7 +425,7 @@ class CommitEngine:
             extra = set(storm) - invalidation_procs
             self.stats.bump("commit.storm_extra_invalidations", len(extra))
             storm_node = Network.directory(home_dirs[0])
-            for proc in extra:
+            for proc in sorted(extra):
                 self.network.send(
                     storm_node,
                     Network.proc(proc),
@@ -444,7 +444,7 @@ class CommitEngine:
         # bounced-read statistics measure.
         for dir_index in home_dirs:
             dir_node = Network.directory(dir_index)
-            for proc in invalidation_procs:
+            for proc in sorted(invalidation_procs):
                 self.network.send(Network.proc(proc), dir_node, TrafficClass.INV, 0)
             self.network.control(dir_node, arb_node)
         ack_delay = 2 * self._hop + self.DIRECTORY_PROCESS_CYCLES + self.ACK_TURNAROUND_CYCLES

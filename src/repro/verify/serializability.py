@@ -22,12 +22,57 @@ itself is corrupt, e.g. interleaved chunk blocks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from repro.verify.history import ExecutionHistory
+
+
+@dataclass(frozen=True)
+class CycleWitnessEdge:
+    """One edge of a cycle witness, in a format shared with the static
+    analyzer (:mod:`repro.analysis.conflict_graph`) so dynamic and static
+    witnesses are directly diffable."""
+
+    src: str
+    dst: str
+    kind: str  # "program" or "conflict"
+    #: Word addresses the two endpoints conflict on (empty for program edges).
+    addrs: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        if self.addrs:
+            where = ",".join(f"{a:#x}" for a in self.addrs)
+            return f"{self.src} -[{self.kind} @{where}]-> {self.dst}"
+        return f"{self.src} -[{self.kind}]-> {self.dst}"
+
+
+def format_cycle_witness(edges: Sequence[CycleWitnessEdge]) -> str:
+    """Render a full cycle witness, one edge per line.
+
+    Both the dynamic checker (this module) and the static analyzer emit
+    cycles through this function, so a static prediction can be compared
+    line-by-line against a recorded violation.
+    """
+    return "\n".join("  " + edge.describe() for edge in edges)
+
+
+def witness_edges(
+    graph: "nx.DiGraph", walk: Sequence[Tuple[Tuple[int, int], Tuple[int, int]]]
+) -> Tuple[CycleWitnessEdge, ...]:
+    """Annotate a ``(src, dst)`` node walk with edge kinds and conflict
+    words from the graph, producing the shared witness format."""
+    return tuple(
+        CycleWitnessEdge(
+            src=f"p{src[0]}#{src[1]}",
+            dst=f"p{dst[0]}#{dst[1]}",
+            kind=graph[src][dst].get("kind", "conflict"),
+            addrs=tuple(graph[src][dst].get("addrs", ())),
+        )
+        for src, dst in walk
+    )
 
 
 @dataclass(frozen=True)
@@ -40,6 +85,9 @@ class SerializabilityResult:
     cycle: Optional[List[Tuple[int, int]]] = None
     num_chunks: int = 0
     num_conflict_edges: int = 0
+    #: The full ordered cycle witness (every edge, with conflict words),
+    #: not just the offending nodes.
+    cycle_edges: Tuple[CycleWitnessEdge, ...] = field(default=())
 
     def __bool__(self) -> bool:
         return self.ok
@@ -102,7 +150,9 @@ def build_precedence_graph(history: ExecutionHistory) -> "nx.DiGraph":
             wr = writes[a] & reads[b]
             rw = reads[a] & writes[b]
             if ww or wr or rw:
-                graph.add_edge(a, b, kind="conflict")
+                graph.add_edge(
+                    a, b, kind="conflict", addrs=tuple(sorted(ww | wr | rw))
+                )
     return graph
 
 
@@ -120,23 +170,27 @@ def check_conflict_serializability(
         1 for __, __, data in graph.edges(data=True) if data.get("kind") == "conflict"
     )
     try:
-        cycle_edges = nx.find_cycle(graph)
+        found = nx.find_cycle(graph)
     except nx.NetworkXNoCycle:
         return SerializabilityResult(
             ok=True,
             num_chunks=graph.number_of_nodes(),
             num_conflict_edges=conflict_edges,
         )
-    cycle_nodes = [edge[0] for edge in cycle_edges]
+    cycle_nodes = [edge[0] for edge in found]
+    witness = witness_edges(graph, found)
     return SerializabilityResult(
         ok=False,
         reason=(
             "conflict cycle among chunks "
             + " -> ".join(f"p{p}#{c}" for p, c in cycle_nodes)
+            + "\n"
+            + format_cycle_witness(witness)
         ),
         cycle=cycle_nodes,
         num_chunks=graph.number_of_nodes(),
         num_conflict_edges=conflict_edges,
+        cycle_edges=witness,
     )
 
 

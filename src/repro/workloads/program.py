@@ -19,6 +19,7 @@ from repro.cpu.isa import (
     Store,
 )
 from repro.cpu.thread import ThreadProgram
+from repro.errors import ProgramError
 from repro.memory.address import AddressSpace
 
 
@@ -43,6 +44,8 @@ class ProgramBuilder:
         return self
 
     def compute(self, count: int) -> "ProgramBuilder":
+        if count < 0:
+            raise ProgramError(f"compute count must be >= 0, got {count}")
         if count > 0:
             self._ops.append(Compute(count))
         return self
@@ -102,14 +105,90 @@ class ProgramBuilder:
         return len(self._ops)
 
 
+def validate_barriers(programs: List[ThreadProgram]) -> None:
+    """Reject barrier declarations that would hang the simulation.
+
+    A :class:`~repro.cpu.isa.Barrier` rendezvous only releases when
+    exactly ``participants`` threads arrive at the same generation, so a
+    malformed workload deadlocks silently at run time.  Statically
+    checkable, so checked here, at :class:`Workload` build time:
+
+    * every occurrence of one ``barrier_id`` must declare the same
+      ``participants`` count (the run-time rendezvous enforces this too,
+      but only after the simulation is already underway);
+    * ``participants`` must be ≥ 1 and ≤ the thread count;
+    * the number of threads using a ``barrier_id`` must equal its
+      ``participants`` (fewer arrive → generation never fills; more →
+      stragglers arrive into a generation that already released);
+    * every participating thread must pass the barrier the same number
+      of times (unequal generation counts strand the extra arrivals).
+
+    Raises :class:`~repro.errors.ProgramError` with the offending
+    barrier id and threads.
+    """
+    declared: Dict[int, int] = {}
+    uses: Dict[int, Dict[int, int]] = {}  # barrier_id -> thread -> count
+    for thread, program in enumerate(programs):
+        for op in program:
+            if not isinstance(op, Barrier):
+                continue
+            seen = declared.get(op.barrier_id)
+            if seen is None:
+                declared[op.barrier_id] = op.participants
+            elif seen != op.participants:
+                raise ProgramError(
+                    f"barrier {op.barrier_id}: inconsistent participant "
+                    f"counts ({seen} vs {op.participants} in thread {thread})"
+                )
+            uses.setdefault(op.barrier_id, {})
+            uses[op.barrier_id][thread] = uses[op.barrier_id].get(thread, 0) + 1
+    for barrier_id, participants in sorted(declared.items()):
+        threads = uses[barrier_id]
+        if participants < 1:
+            raise ProgramError(
+                f"barrier {barrier_id}: participants must be >= 1, "
+                f"got {participants}"
+            )
+        if participants > len(programs):
+            raise ProgramError(
+                f"barrier {barrier_id}: declares {participants} participants "
+                f"but the workload has only {len(programs)} threads"
+            )
+        if len(threads) != participants:
+            users = ", ".join(f"t{t}" for t in sorted(threads))
+            raise ProgramError(
+                f"barrier {barrier_id}: declares {participants} participants "
+                f"but {len(threads)} thread(s) use it ({users}) — the "
+                "rendezvous would never release correctly"
+            )
+        counts = {threads[t] for t in threads}
+        if len(counts) > 1:
+            detail = ", ".join(
+                f"t{t}x{threads[t]}" for t in sorted(threads)
+            )
+            raise ProgramError(
+                f"barrier {barrier_id}: unequal generation counts across "
+                f"threads ({detail}) — the extra arrivals would hang"
+            )
+
+
 @dataclass
 class Workload:
-    """A named set of thread programs over a laid-out address space."""
+    """A named set of thread programs over a laid-out address space.
+
+    Barrier consistency is validated at construction
+    (:func:`validate_barriers`): a workload that would deadlock at a
+    rendezvous raises :class:`~repro.errors.ProgramError` here instead
+    of hanging the simulation.
+    """
 
     name: str
     programs: List[ThreadProgram]
     address_space: AddressSpace
     metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        validate_barriers(self.programs)
 
     @property
     def num_threads(self) -> int:

@@ -1,0 +1,122 @@
+"""Tests for the ``python -m repro analyze`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestProgramPass:
+    def test_sb_finds_cycle_exit_1(self, capsys):
+        code = main(["analyze", "program", "--litmus", "SB"])
+        assert code == 1  # findings: a critical cycle
+        out = capsys.readouterr().out
+        assert "critical cycles" in out
+        assert "-[program]->" in out
+
+    def test_chunk_prediction_rendered(self, capsys):
+        code = main(["analyze", "program", "--litmus", "SB", "--chunk-size", "4"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "chunk conflicts at chunk_size=4" in out
+
+    def test_json_payload(self, capsys):
+        code = main(["analyze", "program", "--litmus", "MP", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "MP"
+        assert payload["critical_cycles"]
+        assert payload["conflict_edges"]
+
+    def test_all_litmus_targets(self, capsys):
+        code = main(["analyze", "program"])
+        assert code == 1
+        out = capsys.readouterr().out
+        for name in ("SB", "MP", "IRIW", "WRC"):
+            assert f"static conflict analysis: {name}" in out
+
+    def test_unknown_litmus_exit_2(self, capsys):
+        assert main(["analyze", "program", "--litmus", "NOPE"]) == 2
+
+    def test_app_target(self, capsys):
+        code = main(
+            ["analyze", "program", "--app", "fft", "--instructions", "400"]
+        )
+        assert code in (0, 1)
+        assert "static conflict analysis: fft" in capsys.readouterr().out
+
+    def test_unknown_app_exit_2(self, capsys):
+        assert main(["analyze", "program", "--app", "doom"]) == 2
+
+
+class TestRacesPass:
+    def test_litmus_races_found(self, capsys):
+        code = main(["analyze", "races", "--litmus", "SB"])
+        assert code == 1
+        assert "DATA RACES" in capsys.readouterr().out
+
+    def test_json_counts(self, capsys):
+        code = main(["analyze", "races", "--litmus", "SB", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["data-race"] == 2
+
+
+class TestOutcomesPass:
+    def test_sb_outcomes(self, capsys):
+        code = main(["analyze", "outcomes", "--litmus", "SB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distinct final states 3" in out
+        assert "forbidden outcome correctly excluded" in out
+
+    def test_json_shape(self, capsys):
+        code = main(["analyze", "outcomes", "--litmus", "SB", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["final_states"]) == 3
+        assert payload["forbidden_states"] == []
+
+    def test_budget_exhaustion_exit_2(self, capsys):
+        code = main(
+            ["analyze", "outcomes", "--litmus", "IRIW", "--max-states", "3"]
+        )
+        assert code == 2
+
+    def test_chunked_enumeration(self, capsys):
+        code = main(
+            ["analyze", "outcomes", "--litmus", "SB", "--chunk-size", "8"]
+        )
+        assert code == 0
+        # Whole-thread chunks: the interleavings shrink but stay SC.
+        assert "chunk_size=8" in capsys.readouterr().out
+
+
+class TestDetlintPass:
+    def test_clean_tree_exit_0(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("for x in [1, 2]:\n    print(x)\n")
+        assert main(["analyze", "detlint", str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text("for x in {1, 2}:\n    print(x)\n")
+        assert main(["analyze", "detlint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert main(["analyze", "detlint", str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "DET003"
+        assert payload["ok"] is False
+
+    def test_empty_target_exit_2(self, tmp_path):
+        assert main(["analyze", "detlint", str(tmp_path / "nowhere")]) == 2
+
+    def test_repo_sources_clean(self, capsys):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        assert main(["analyze", "detlint", str(src)]) == 0

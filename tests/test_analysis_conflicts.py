@@ -1,0 +1,269 @@
+"""Tests for the analysis core and the static conflict-graph pass."""
+
+import pytest
+
+from repro.analysis.conflict_graph import (
+    build_conflict_report,
+    predict_chunk_conflicts,
+)
+from repro.analysis.footprint import analyze_programs
+from repro.cpu.isa import (
+    Barrier,
+    Compute,
+    Io,
+    Load,
+    LockAcquire,
+    LockRelease,
+    OpKind,
+    Reg,
+    SpinUntil,
+    Store,
+)
+from repro.cpu.thread import ThreadProgram
+from repro.verify.litmus import all_litmus_tests
+
+
+def programs(*op_lists):
+    return [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(op_lists)]
+
+
+class TestFootprints:
+    def test_load_store_footprints(self):
+        analysis = analyze_programs(
+            programs([Load("r1", 0x10), Store(0x20, 1), Compute(5)])
+        )
+        fp = analysis.footprints[0]
+        assert fp.reads == {0x10}
+        assert fp.writes == {0x20}
+        assert len(fp.accesses) == 2  # Compute touches no memory
+
+    def test_symbolic_store_value_flagged(self):
+        analysis = analyze_programs(
+            programs([Load("r1", 0x10), Store(0x20, Reg("r1"))])
+        )
+        store = analysis.footprints[0].accesses[1]
+        assert store.value_symbolic
+
+    def test_lockset_tracks_critical_section(self):
+        analysis = analyze_programs(
+            programs(
+                [
+                    LockAcquire(0x100),
+                    Store(0x10, 1),
+                    LockRelease(0x100),
+                    Store(0x20, 2),
+                ]
+            )
+        )
+        accesses = analysis.footprints[0].accesses
+        inside = next(a for a in accesses if a.addr == 0x10)
+        outside = next(a for a in accesses if a.addr == 0x20)
+        assert inside.lockset == {0x100}
+        assert outside.lockset == frozenset()
+
+    def test_acquire_is_read_modify_write_sync(self):
+        analysis = analyze_programs(programs([LockAcquire(0x100)]))
+        access = analysis.footprints[0].accesses[0]
+        assert access.is_read and access.is_write and access.is_sync
+
+    def test_barrier_phases_recorded(self):
+        analysis = analyze_programs(
+            programs([Store(0x10, 1), Barrier(1, 1), Store(0x20, 2)])
+        )
+        before, after = analysis.footprints[0].accesses
+        assert dict(before.barrier_phases) == {}
+        assert dict(after.barrier_phases) == {1: 1}
+
+    def test_spin_flag_is_global_sync_addr(self):
+        analysis = analyze_programs(
+            programs(
+                [Store(0x10, 1)],  # t0 writes the flag with a plain store
+                [SpinUntil(0x10, 1)],
+            )
+        )
+        assert 0x10 in analysis.sync_addrs
+        # The plain store is re-classified as sync traffic.
+        assert analysis.footprints[0].accesses[0].is_sync
+
+    def test_lock_imbalance_warned_not_crashed(self):
+        analysis = analyze_programs(
+            programs([LockRelease(0x100), LockAcquire(0x200)])
+        )
+        warnings = analysis.footprints[0].warnings
+        assert any("never acquired" in w for w in warnings)
+        assert any("ends holding" in w for w in warnings)
+        assert analysis.footprints[0].unreleased_locks == {0x200}
+
+    def test_double_acquire_warned(self):
+        analysis = analyze_programs(
+            programs([LockAcquire(0x100), LockAcquire(0x100)])
+        )
+        assert any(
+            "already held" in w for w in analysis.footprints[0].warnings
+        )
+
+    def test_empty_program(self):
+        analysis = analyze_programs(programs([]))
+        assert analysis.footprints[0].accesses == []
+        report = build_conflict_report(programs([]))
+        assert report.edges == [] and report.cycles == []
+
+
+class TestConflictEdges:
+    def test_wr_edge_found(self):
+        report = build_conflict_report(
+            programs([Store(0x10, 1)], [Load("r1", 0x10)])
+        )
+        assert len(report.edges) == 1
+        edge = report.edges[0]
+        assert edge.kind == "WR" and edge.addr == 0x10 and not edge.sync
+
+    def test_read_read_no_edge(self):
+        report = build_conflict_report(
+            programs([Load("r1", 0x10)], [Load("r2", 0x10)])
+        )
+        assert report.edges == []
+
+    def test_same_thread_no_edge(self):
+        report = build_conflict_report(
+            programs([Store(0x10, 1), Load("r1", 0x10)])
+        )
+        assert report.edges == []
+
+    def test_lock_contention_is_sync_edge(self):
+        report = build_conflict_report(
+            programs(
+                [LockAcquire(0x100), LockRelease(0x100)],
+                [LockAcquire(0x100), LockRelease(0x100)],
+            )
+        )
+        assert report.edges and all(e.sync for e in report.edges)
+        assert report.data_edges == []
+
+    def test_hot_addr_ranking(self):
+        report = build_conflict_report(
+            programs(
+                [Store(0x10, 1), Store(0x20, 1)],
+                [Store(0x10, 2), Load("r", 0x10), Load("s", 0x20)],
+            )
+        )
+        assert report.hot_addrs[0][0] == 0x10
+
+
+class TestCriticalCycles:
+    def test_sb_cycle_detected(self):
+        test = next(t for t in all_litmus_tests() if t.name == "SB")
+        addrs = {"x": 0x40, "y": 0x80}
+        report = build_conflict_report(
+            programs(*test.build(addrs))
+        )
+        assert report.cycles, "store buffering must form a critical cycle"
+        cycle = report.cycles[0]
+        # The delay set must contain the store->load program pairs of
+        # both threads (the orderings SC hardware must enforce).
+        threads = {src[0] for src, __ in cycle.delay_pairs}
+        assert threads == {0, 1}
+
+    def test_disjoint_threads_no_cycle(self):
+        report = build_conflict_report(
+            programs(
+                [Store(0x10, 1), Load("r1", 0x20)],
+                [Store(0x30, 1), Load("r2", 0x40)],
+            )
+        )
+        assert report.cycles == []
+
+    def test_one_way_communication_no_cycle(self):
+        # Pure producer/consumer on one word cannot violate SC.
+        report = build_conflict_report(
+            programs([Store(0x10, 1)], [Load("r1", 0x10)])
+        )
+        assert report.edges and report.cycles == []
+
+    def test_witness_format_matches_dynamic_checker(self):
+        test = next(t for t in all_litmus_tests() if t.name == "SB")
+        report = build_conflict_report(
+            programs(*test.build({"x": 0x40, "y": 0x80}))
+        )
+        text = report.cycles[0].describe()
+        # Same rendering as verify.serializability.format_cycle_witness.
+        assert "-[conflict @" in text and "-[program]->" in text
+
+    def test_every_litmus_test_has_a_cycle(self):
+        # Every litmus shape in the suite exists because some reordering
+        # is observable — so each must contain a critical cycle.
+        for test in all_litmus_tests():
+            addrs = {
+                var: (i + 1) * 0x40 for i, var in enumerate(test.variables)
+            }
+            report = build_conflict_report(programs(*test.build(addrs)))
+            assert report.cycles, f"{test.name} should have a critical cycle"
+
+
+class TestChunkPrediction:
+    def test_conflicting_chunks_found(self):
+        conflicts = predict_chunk_conflicts(
+            programs([Store(0x10, 1)], [Load("r1", 0x10)]), chunk_size=4
+        )
+        assert len(conflicts) == 1
+        assert conflicts[0].addrs == (0x10,)
+
+    def test_disjoint_chunks_reported_clean(self):
+        conflicts = predict_chunk_conflicts(
+            programs([Store(0x10, 1)], [Store(0x20, 1)]), chunk_size=4
+        )
+        assert conflicts == []
+
+    def test_chunk_size_splits_footprints(self):
+        # With chunk_size=1 each op is its own chunk, so only the two
+        # touching ops conflict — not whole-thread footprints.
+        ops_a = [Store(0x10, 1), Store(0x20, 1)]
+        ops_b = [Load("r", 0x20)]
+        coarse = predict_chunk_conflicts(programs(ops_a, ops_b), chunk_size=100)
+        fine = predict_chunk_conflicts(programs(ops_a, ops_b), chunk_size=1)
+        assert len(coarse) == 1 and coarse[0].chunk_a == 0
+        assert len(fine) == 1 and fine[0].chunk_a == 1
+
+    def test_barrier_forces_chunk_boundary(self):
+        conflicts = predict_chunk_conflicts(
+            programs(
+                [Store(0x10, 1), Barrier(1, 2), Store(0x20, 1)],
+                [Load("r", 0x20), Barrier(1, 2)],
+            ),
+            chunk_size=1000,
+        )
+        # The store after the barrier is in its own chunk despite the
+        # large budget.
+        assert any(
+            c.addrs == (0x20,) and c.chunk_a >= 2 for c in conflicts
+        )
+
+    def test_io_forces_chunk_boundary(self):
+        conflicts = predict_chunk_conflicts(
+            programs(
+                [Store(0x10, 1), Io(7, 1), Store(0x20, 1)],
+                [Load("r", 0x20)],
+            ),
+            chunk_size=1000,
+        )
+        assert any(c.chunk_a == 2 for c in conflicts)
+
+
+class TestOpKindCoverage:
+    def test_all_memory_op_kinds_extracted(self):
+        ops = [
+            Load("r1", 0x10),
+            Store(0x20, 1),
+            LockAcquire(0x30),
+            LockRelease(0x30),
+            SpinUntil(0x40, 1),
+        ]
+        analysis = analyze_programs(programs(ops))
+        kinds = {a.kind for a in analysis.footprints[0].accesses}
+        assert kinds == {
+            OpKind.LOAD,
+            OpKind.STORE,
+            OpKind.ACQUIRE,
+            OpKind.RELEASE,
+            OpKind.SPIN_UNTIL,
+        }

@@ -1,0 +1,249 @@
+"""SC-outcome enumeration tests, including the static/dynamic
+cross-validation contract over the litmus suite:
+
+* the enumerator's SC-allowed final-state set is a **superset** of the
+  final states observed across seeded dynamic runs, and
+* every cross-chunk conflict the dynamic run records appears as an edge
+  in the static conflict graph (no static false negatives).
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.conflict_graph import build_conflict_report
+from repro.analysis.outcomes import (
+    EnumerationBudgetError,
+    enumerate_sc_outcomes,
+)
+from repro.cpu.isa import (
+    Barrier,
+    Compute,
+    Io,
+    Load,
+    LockAcquire,
+    LockRelease,
+    RegPlus,
+    SpinUntil,
+    Store,
+)
+from repro.cpu.thread import ThreadProgram
+from repro.errors import ProgramError
+from repro.memory.address import AddressMap, AddressSpace
+from repro.params import bsc_dypvt, sc_config
+from repro.system import run_workload
+from repro.verify.litmus import all_litmus_tests
+from repro.verify.serializability import build_precedence_graph
+
+
+def programs(*op_lists):
+    return [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(op_lists)]
+
+
+class TestInterpreter:
+    def test_single_thread_final_state(self):
+        result = enumerate_sc_outcomes(
+            programs([Store(0x10, 7), Load("r1", 0x10)])
+        )
+        assert len(result.final_states) == 1
+        state = result.final_states[0]
+        assert state.memory_map() == {0x10: 7}
+        assert state.register_map()[0] == {"r1": 7}
+
+    def test_rmw_idiom(self):
+        result = enumerate_sc_outcomes(
+            programs([Load("t", 0x10), Store(0x10, RegPlus("t", 1))])
+        )
+        assert result.final_states[0].memory_map() == {0x10: 1}
+
+    def test_unsynchronized_counter_loses_updates(self):
+        # Two unlocked increments: final value can be 1 (lost update) or 2.
+        inc = [Load("t", 0x10), Store(0x10, RegPlus("t", 1))]
+        result = enumerate_sc_outcomes(programs(list(inc), list(inc)))
+        finals = {s.memory_map()[0x10] for s in result.final_states}
+        assert finals == {1, 2}
+
+    def test_locked_counter_never_loses_updates(self):
+        inc = [
+            LockAcquire(0x100),
+            Load("t", 0x10),
+            Store(0x10, RegPlus("t", 1)),
+            LockRelease(0x100),
+        ]
+        result = enumerate_sc_outcomes(programs(list(inc), list(inc)))
+        finals = {s.memory_map()[0x10] for s in result.final_states}
+        assert finals == {2}
+        assert result.ok
+
+    def test_spin_until_waits_for_value(self):
+        result = enumerate_sc_outcomes(
+            programs(
+                [Store(0x10, 42), Store(0x20, 1)],
+                [SpinUntil(0x20, 1), Load("r1", 0x10)],
+            )
+        )
+        # The spin guarantees the payload is visible: r1 is always 42.
+        values = {s.register_map()[1]["r1"] for s in result.final_states}
+        assert values == {42}
+
+    def test_barrier_synchronizes(self):
+        result = enumerate_sc_outcomes(
+            programs(
+                [Store(0x10, 1), Barrier(1, 2)],
+                [Barrier(1, 2), Load("r1", 0x10)],
+            )
+        )
+        values = {s.register_map()[1]["r1"] for s in result.final_states}
+        assert values == {1}
+        assert result.ok
+
+    def test_unmatched_barrier_is_deadlock_not_hang(self):
+        result = enumerate_sc_outcomes(
+            programs([Barrier(1, 2)], [Store(0x10, 1)])
+        )
+        assert result.deadlocks
+        assert not result.final_states
+
+    def test_never_released_lock_deadlocks(self):
+        result = enumerate_sc_outcomes(
+            programs([LockAcquire(0x100)], [LockAcquire(0x100)])
+        )
+        # One thread wins; the other blocks forever.
+        assert result.deadlocks
+
+    def test_io_recorded_as_device_state(self):
+        result = enumerate_sc_outcomes(programs([Io(3, 9)]))
+        assert dict(result.final_states[0].devices) == {3: 9}
+
+    def test_budget_enforced(self):
+        ops = [Store(0x10 + 8 * i, i) for i in range(6)]
+        with pytest.raises(EnumerationBudgetError):
+            enumerate_sc_outcomes(
+                programs(list(ops), list(ops), list(ops)), max_states=10
+            )
+
+    def test_thread_cap_enforced(self):
+        with pytest.raises(ProgramError):
+            enumerate_sc_outcomes(programs([], [], [], [], []))
+
+    def test_chunked_outcomes_subset_of_sc(self):
+        sb = programs(
+            [Store(0x10, 1), Load("r1", 0x20)],
+            [Store(0x20, 1), Load("r2", 0x10)],
+        )
+        full = enumerate_sc_outcomes(sb, chunk_size=1)
+        chunked = enumerate_sc_outcomes(
+            programs(
+                [Store(0x10, 1), Load("r1", 0x20)],
+                [Store(0x20, 1), Load("r2", 0x10)],
+            ),
+            chunk_size=8,
+        )
+        full_set = {s for s in full.final_states}
+        for state in chunked.final_states:
+            assert state in full_set
+
+
+class TestLitmusEnumeration:
+    @pytest.mark.parametrize(
+        "test", all_litmus_tests(), ids=lambda t: t.name
+    )
+    def test_forbidden_outcome_excluded(self, test):
+        addrs = {var: (i + 1) * 0x40 for i, var in enumerate(test.variables)}
+        progs = programs(*test.build(addrs))
+        result = enumerate_sc_outcomes(progs)
+        assert result.final_states, "litmus programs must terminate"
+        for state in result.final_states:
+            assert not test.forbidden(state.register_map()), (
+                f"{test.name}: SC enumeration produced a forbidden state "
+                f"{state.describe()}"
+            )
+
+
+def _final_registers_key(registers: Dict[int, Dict[str, int]], num_threads: int):
+    """Per-thread register tuples for the program's threads only (the
+    machine reports empty register files for unused processors too)."""
+    return tuple(
+        tuple(sorted(registers.get(proc, {}).items()))
+        for proc in range(num_threads)
+    )
+
+
+class TestCrossValidation:
+    """The static passes against real simulator runs, per litmus test."""
+
+    CONFIGS = [("BSCdypvt", bsc_dypvt), ("SC", sc_config)]
+    STAGGERS = [(1, 1), (60, 1)]
+    SEEDS = [0, 1]
+
+    def _dynamic_runs(self, test, config_factory):
+        """Yield (programs-without-preamble, run result) pairs."""
+        for seed in self.SEEDS:
+            config = config_factory(seed=seed)
+            for stagger in self.STAGGERS:
+                space = AddressSpace(
+                    AddressMap(
+                        config.memory.words_per_line, config.num_directories
+                    )
+                )
+                addrs = {
+                    var: space.allocate(
+                        var, config.memory.words_per_line
+                    ).start_word
+                    for var in test.variables
+                }
+                bare = [
+                    ThreadProgram(ops, name=f"t{i}")
+                    for i, ops in enumerate(test.build(addrs))
+                ]
+                staggered = [
+                    ThreadProgram(
+                        [Compute(stagger[i % len(stagger)])] + list(p),
+                        name=p.name,
+                    )
+                    for i, p in enumerate(bare)
+                ]
+                yield bare, run_workload(config, staggered, space)
+
+    @pytest.mark.parametrize(
+        "test", all_litmus_tests(), ids=lambda t: t.name
+    )
+    def test_dynamic_final_states_within_static_enumeration(self, test):
+        for name, factory in self.CONFIGS:
+            for bare, result in self._dynamic_runs(test, factory):
+                enumerated = enumerate_sc_outcomes(bare)
+                allowed = {
+                    _final_registers_key(s.register_map(), len(bare))
+                    for s in enumerated.final_states
+                }
+                observed = _final_registers_key(result.registers, len(bare))
+                assert observed in allowed, (
+                    f"{test.name} under {name}: dynamic final state "
+                    f"{observed} not in the static SC-allowed set"
+                )
+
+    @pytest.mark.parametrize(
+        "test", all_litmus_tests(), ids=lambda t: t.name
+    )
+    def test_dynamic_conflicts_covered_by_static_edges(self, test):
+        for name, factory in self.CONFIGS:
+            for bare, result in self._dynamic_runs(test, factory):
+                report = build_conflict_report(bare)
+                static_pairs = set()
+                for edge in report.edges:
+                    key = (
+                        frozenset((edge.a.thread, edge.b.thread)),
+                        edge.addr,
+                    )
+                    static_pairs.add(key)
+                graph = build_precedence_graph(result.history)
+                for src, dst, data in graph.edges(data=True):
+                    if data.get("kind") != "conflict":
+                        continue
+                    for addr in data.get("addrs", ()):
+                        key = (frozenset((src[0], dst[0])), addr)
+                        assert key in static_pairs, (
+                            f"{test.name} under {name}: dynamic conflict "
+                            f"p{src[0]}<->p{dst[0]} @{addr:#x} missing from "
+                            "the static conflict graph"
+                        )

@@ -1,0 +1,165 @@
+"""Tests for the static race detector (lockset + happens-before)."""
+
+from repro.analysis.races import (
+    BARRIER_SEPARATED,
+    DATA_RACE,
+    FLAG_ORDERED,
+    LOCK_PROTECTED,
+    SYNC_TRAFFIC,
+    detect_races,
+)
+from repro.cpu.isa import (
+    Barrier,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Reg,
+    SpinUntil,
+    Store,
+)
+from repro.cpu.thread import ThreadProgram
+
+
+def programs(*op_lists):
+    return [ThreadProgram(ops, name=f"t{i}") for i, ops in enumerate(op_lists)]
+
+
+LOCK = 0x1000
+
+
+class TestLockset:
+    def test_common_lock_protects(self):
+        report = detect_races(
+            programs(
+                [LockAcquire(LOCK), Store(0x10, 1), LockRelease(LOCK)],
+                [LockAcquire(LOCK), Load("r1", 0x10), LockRelease(LOCK)],
+            )
+        )
+        data = [p for p in report.pairs if p.edge.addr == 0x10]
+        assert len(data) == 1
+        assert data[0].classification == LOCK_PROTECTED
+        assert report.ok
+
+    def test_different_locks_do_not_protect(self):
+        report = detect_races(
+            programs(
+                [LockAcquire(LOCK), Store(0x10, 1), LockRelease(LOCK)],
+                [LockAcquire(0x2000), Load("r1", 0x10), LockRelease(0x2000)],
+            )
+        )
+        data = [p for p in report.pairs if p.edge.addr == 0x10]
+        assert data[0].classification == DATA_RACE
+        assert not report.ok
+
+    def test_one_side_unlocked_races(self):
+        report = detect_races(
+            programs(
+                [LockAcquire(LOCK), Store(0x10, 1), LockRelease(LOCK)],
+                [Load("r1", 0x10)],
+            )
+        )
+        assert [p for p in report.races if p.edge.addr == 0x10]
+
+    def test_lock_word_contention_is_sync_traffic(self):
+        report = detect_races(
+            programs(
+                [LockAcquire(LOCK), LockRelease(LOCK)],
+                [LockAcquire(LOCK), LockRelease(LOCK)],
+            )
+        )
+        assert report.pairs
+        assert all(p.classification == SYNC_TRAFFIC for p in report.pairs)
+        assert report.ok
+
+
+class TestBarriers:
+    def test_barrier_separates_phases(self):
+        report = detect_races(
+            programs(
+                [Store(0x10, 1), Barrier(1, 2)],
+                [Barrier(1, 2), Load("r1", 0x10)],
+            )
+        )
+        data = [p for p in report.pairs if p.edge.addr == 0x10]
+        assert data[0].classification == BARRIER_SEPARATED
+        assert report.ok
+
+    def test_same_phase_races(self):
+        report = detect_races(
+            programs(
+                [Store(0x10, 1), Barrier(1, 2)],
+                [Load("r1", 0x10), Barrier(1, 2)],
+            )
+        )
+        data = [p for p in report.pairs if p.edge.addr == 0x10]
+        assert data[0].classification == DATA_RACE
+
+    def test_multi_generation_barrier(self):
+        # Write in phase 0, read in phase 2: still separated.
+        report = detect_races(
+            programs(
+                [Store(0x10, 1), Barrier(1, 2), Barrier(1, 2)],
+                [Barrier(1, 2), Barrier(1, 2), Load("r1", 0x10)],
+            )
+        )
+        data = [p for p in report.pairs if p.edge.addr == 0x10]
+        assert data[0].classification == BARRIER_SEPARATED
+
+
+class TestFlagOrdering:
+    def test_post_wait_orders_payload(self):
+        report = detect_races(
+            programs(
+                [Store(0x10, 42), Store(0x20, 1)],
+                [SpinUntil(0x20, 1), Load("r1", 0x10)],
+            )
+        )
+        data = [p for p in report.pairs if p.edge.addr == 0x10]
+        assert data[0].classification == FLAG_ORDERED
+        # The flag itself is sync traffic, not a race.
+        flag = [p for p in report.pairs if p.edge.addr == 0x20]
+        assert all(p.classification == SYNC_TRAFFIC for p in flag)
+        assert report.ok
+
+    def test_symbolic_flag_store_creates_no_ordering(self):
+        # A store whose value is register-dependent cannot be proven to
+        # post the flag — the payload access must be reported racy.
+        report = detect_races(
+            programs(
+                [Load("v", 0x30), Store(0x10, 42), Store(0x20, Reg("v"))],
+                [SpinUntil(0x20, 1), Load("r1", 0x10)],
+            )
+        )
+        data = [p for p in report.races if p.edge.addr == 0x10]
+        assert data, "symbolic flag store must not suppress the race"
+
+    def test_plain_load_of_flag_is_not_synchronization(self):
+        # Message passing with a plain load (no SpinUntil): racy.
+        report = detect_races(
+            programs(
+                [Store(0x10, 42), Store(0x20, 1)],
+                [Load("r1", 0x20), Load("r2", 0x10)],
+            )
+        )
+        assert [p for p in report.races if p.edge.addr == 0x10]
+
+
+class TestReportShape:
+    def test_counts_and_witnesses(self):
+        report = detect_races(
+            programs([Store(0x10, 1)], [Load("r1", 0x10)])
+        )
+        assert report.counts() == {DATA_RACE: 1}
+        witness = report.races[0].describe()
+        assert "t0#0" in witness and "t1#0" in witness and "0x10" in witness
+
+    def test_malformed_program_reported_not_crashed(self):
+        report = detect_races(
+            programs([LockRelease(LOCK), Store(0x10, 1)], [Load("r1", 0x10)])
+        )
+        assert any("never acquired" in w for w in report.warnings)
+        assert [p for p in report.races if p.edge.addr == 0x10]
+
+    def test_empty_programs(self):
+        report = detect_races(programs([], []))
+        assert report.pairs == [] and report.ok
