@@ -10,6 +10,8 @@ Commands:
 * ``chaos`` — fault-injection campaigns against the commit pipeline.
 * ``analyze`` — static analysis: conflict graphs, races, SC-outcome
   enumeration, and the determinism lint (no simulation).
+* ``replay`` — deterministic record/replay of runs, schedule
+  exploration, and failure minimization.
 * ``experiments`` — regenerate one of the paper's tables/figures.
 * ``list`` — show the available applications and configurations.
 """
@@ -170,6 +172,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(json.dumps(chaos_report_payload(report), indent=2, sort_keys=True))
     else:
         print(render_chaos_report(report))
+    if args.save_trace:
+        from repro.replay.recorder import save_chaos_failure
+
+        saved = save_chaos_failure(report, args.save_trace)
+        if saved is not None:
+            print(f"replayable failure trace written to {saved}", file=sys.stderr)
+        else:
+            print(
+                "no failing run to save (campaign fully certified)",
+                file=sys.stderr,
+            )
     if report.first_error is not None:
         return 3  # failed diagnosably with a typed ReproError
     if not report.all_certified:
@@ -261,11 +274,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per thread for synthetic workloads (default 2000)",
     )
     p_chaos.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p_chaos.add_argument(
+        "--save-trace",
+        default=None,
+        metavar="PATH",
+        help="re-record the first failing run as a replayable trace file",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
 
     from repro.analysis.cli import add_analyze_parser
 
     add_analyze_parser(sub)
+
+    from repro.replay.cli import add_replay_parser
+
+    add_replay_parser(sub)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
     p_exp.add_argument(

@@ -84,18 +84,22 @@ class TxnPhase(enum.Enum):
 
 
 class CommitTransaction:
-    """Book-keeping for one in-flight commit."""
+    """Book-keeping for one in-flight commit.
 
-    _next_id = 0
+    ``commit_id`` is assigned by the owning :class:`CommitEngine` from a
+    per-machine counter, never from process-global state: commit ids
+    appear in event labels and replay traces, so two identical runs in
+    one process must number their transactions identically.
+    """
 
     def __init__(
         self,
+        commit_id: int,
         chunk: Chunk,
         on_committed: Callable[[Chunk], None],
         on_granted: Optional[Callable[[Chunk], None]] = None,
     ):
-        CommitTransaction._next_id += 1
-        self.commit_id = CommitTransaction._next_id
+        self.commit_id = commit_id
         self.chunk = chunk
         self.on_committed = on_committed
         self.on_granted = on_granted
@@ -140,6 +144,7 @@ class CommitEngine:
         self._distributed = (
             self.bulk_config.arbiter_topology is ArbiterTopology.DISTRIBUTED
         )
+        self._next_commit_id = 0
 
     # ------------------------------------------------------------------
     # Submission (called by drivers when a chunk may arbitrate)
@@ -156,7 +161,8 @@ class CommitEngine:
             raise ProtocolError(
                 f"chunk {chunk.chunk_id} submitted in state {chunk.state}"
             )
-        txn = CommitTransaction(chunk, on_committed, on_granted)
+        self._next_commit_id += 1
+        txn = CommitTransaction(self._next_commit_id, chunk, on_committed, on_granted)
         chunk.mark(ChunkState.ARBITRATING)
         # With the RSig optimization the first message carries only W;
         # without it, R travels with every request.

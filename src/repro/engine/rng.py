@@ -17,11 +17,24 @@ T = TypeVar("T")
 
 
 class DeterministicRng:
-    """A seeded random stream with named, independent sub-streams."""
+    """A seeded random stream with named, independent sub-streams.
+
+    Every draw bumps :attr:`draws`, a monotonically increasing counter.
+    Two executions that consumed a different number of draws have
+    demonstrably diverged, so the counter is recorded in replay traces
+    and livelock dumps: a divergence diagnostic can name the exact draw
+    index where two executions split.
+    """
 
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._random = random.Random(seed)
+        #: Number of draws consumed from this stream so far.  Counts
+        #: API-level calls (one per ``randint``/``choice``/... and one
+        #: per Bernoulli trial of :meth:`geometric`), not underlying
+        #: entropy bits; what matters is that equal executions produce
+        #: equal counts.
+        self.draws = 0
 
     def fork(self, label: str) -> "DeterministicRng":
         """Derive an independent stream keyed by ``label``.
@@ -37,24 +50,31 @@ class DeterministicRng:
 
     # Thin wrappers over random.Random -------------------------------------
     def randint(self, lo: int, hi: int) -> int:
+        self.draws += 1
         return self._random.randint(lo, hi)
 
     def random(self) -> float:
+        self.draws += 1
         return self._random.random()
 
     def uniform(self, lo: float, hi: float) -> float:
+        self.draws += 1
         return self._random.uniform(lo, hi)
 
     def choice(self, seq: Sequence[T]) -> T:
+        self.draws += 1
         return self._random.choice(seq)
 
     def shuffle(self, seq: List[T]) -> None:
+        self.draws += 1
         self._random.shuffle(seq)
 
     def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        self.draws += 1
         return self._random.sample(seq, k)
 
     def expovariate(self, lambd: float) -> float:
+        self.draws += 1
         return self._random.expovariate(lambd)
 
     def geometric(self, p: float) -> int:
@@ -62,7 +82,7 @@ class DeterministicRng:
         if not 0 < p <= 1:
             raise ValueError(f"p must be in (0, 1], got {p}")
         count = 1
-        while self._random.random() >= p:
+        while self.random() >= p:
             count += 1
         return count
 
@@ -76,6 +96,6 @@ class DeterministicRng:
             raise ValueError("n must be positive")
         # Inverse-CDF on the harmonic-weighted ranks, approximated with a
         # power transform which is accurate enough for workload shaping.
-        u = self._random.random()
+        u = self.random()
         idx = int(n * (u ** (1.0 + alpha)))
         return min(idx, n - 1)

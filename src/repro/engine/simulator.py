@@ -90,7 +90,8 @@ class Simulator:
     def _livelock_report(self, max_events: int) -> str:
         """Describe what the simulation was doing when the budget blew."""
         lines = [
-            f"exceeded max_events={max_events} at cycle {self.now}; likely livelock"
+            f"exceeded max_events={max_events} at cycle {self.now}; likely livelock",
+            f"rng draws consumed: {self.rng.draws}",
         ]
         pending = [e for e in self.queue._heap if not e.cancelled]
         if pending:

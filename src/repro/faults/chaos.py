@@ -37,6 +37,7 @@ from repro.faults.plan import FaultPlan
 from repro.harness.runner import ALL_APPS, build_app_workload
 from repro.memory.address import AddressMap, AddressSpace
 from repro.params import NAMED_CONFIGS
+from repro.replay.workload import app_spec, litmus_spec
 from repro.system import run_workload
 from repro.verify.litmus import all_litmus_tests
 from repro.verify.sc_checker import check_sequential_consistency
@@ -63,6 +64,11 @@ class ChaosRunRecord:
     forbidden_outcome: bool = False
     #: ``"TypeName: message"`` when the run raised a typed ReproError.
     error: Optional[str] = None
+    #: Reconstruction data for the replay recorder: workload spec,
+    #: injector label, and the config seed this run used.  Pure data, so
+    #: a failing run can be re-driven with a recorder attached
+    #: (:func:`repro.replay.recorder.save_chaos_failure`).
+    repro: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -81,6 +87,10 @@ class ChaosReport:
     runs: List[ChaosRunRecord] = field(default_factory=list)
     #: Fault trace of the failing run (for diagnosis), if any.
     failure_trace: List[FaultRecord] = field(default_factory=list)
+    #: The CLI fault spelling and rate override, kept so failing runs
+    #: can be re-recorded as replayable traces.
+    faults_spelling: str = ""
+    rate: Optional[float] = None
 
     @property
     def total_faults(self) -> int:
@@ -144,6 +154,8 @@ def run_chaos(
         config_name=config_name,
         plan_description=plan.describe(),
         retries_enabled=not no_retry,
+        faults_spelling=faults,
+        rate=rate,
     )
     if workload in ("litmus", "mix"):
         if not _litmus_campaign(report, plan, seed, config_name, no_retry, quick):
@@ -232,11 +244,16 @@ def _litmus_campaign(
                     )
                     for i, ops in enumerate(test.build(addrs))
                 ]
-                injector = FaultInjector(
-                    plan, seed=seed, label=f"litmus/{test.name}/s{run_seed}/g{gi}"
-                )
+                label = f"litmus/{test.name}/s{run_seed}/g{gi}"
+                injector = FaultInjector(plan, seed=seed, label=label)
                 record = ChaosRunRecord(
-                    name=f"litmus:{test.name}/s{run_seed}/g{gi}", seed=run_seed
+                    name=f"litmus:{test.name}/s{run_seed}/g{gi}",
+                    seed=run_seed,
+                    repro={
+                        "workload": litmus_spec(test.name, stagger),
+                        "injector_label": label,
+                        "config_seed": run_seed,
+                    },
                 )
                 result = _execute(report, record, config, programs, space, injector)
                 if result is None:
@@ -258,8 +275,17 @@ def _synthetic_campaign(
     config = _config_for(config_name, seed, no_retry)
     for app in apps:
         workload = build_app_workload(app, config, instructions, seed)
-        injector = FaultInjector(plan, seed=seed, label=f"synthetic/{app}")
-        record = ChaosRunRecord(name=f"synthetic:{app}", seed=seed)
+        label = f"synthetic/{app}"
+        injector = FaultInjector(plan, seed=seed, label=label)
+        record = ChaosRunRecord(
+            name=f"synthetic:{app}",
+            seed=seed,
+            repro={
+                "workload": app_spec(app, instructions, seed),
+                "injector_label": label,
+                "config_seed": seed,
+            },
+        )
         result = _execute(
             report,
             record,

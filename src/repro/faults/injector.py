@@ -14,6 +14,15 @@ false-positive storms and spurious squashes — are exposed as query
 methods (:meth:`storm_procs`, :meth:`squash_victims`) that the commit
 engine consults at the natural decision points.
 
+Every injectable decision point is *numbered*: :meth:`deliver` bumps
+``deliver_seq`` on every call (faulted or not), and the storm/squash
+queries bump their own counters.  Injected faults record the sequence
+number they fired at plus their drawn parameters, which makes a fault
+schedule a pure data object: :class:`ScriptedFaultInjector` re-applies
+an explicit ``{seq: fault}`` script with no randomness at all — the
+mechanism behind trace minimization and minimized-trace replay in
+:mod:`repro.replay`.
+
 Every injected fault is appended to :attr:`trace` as a
 :class:`FaultRecord`; resilience errors carry this trace so a failing
 chaos run names exactly what was done to it.
@@ -22,7 +31,7 @@ chaos run names exactly what was done to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.rng import DeterministicRng
 from repro.engine.simulator import Simulator
@@ -40,13 +49,38 @@ _TRACE_CAP = 5000
 
 @dataclass(frozen=True)
 class FaultRecord:
-    """One injected fault: when, what, and to which message."""
+    """One injected fault: when, what, and to which message.
+
+    ``seq`` numbers the injection point within its channel (message
+    deliveries, storm queries, or squash queries — see
+    :attr:`channel`), and ``extra``/``victims`` hold the drawn
+    parameters, so a recorded fault can be re-applied verbatim by a
+    :class:`ScriptedFaultInjector`.
+    """
 
     time: float
     fault: str
     point: Optional[str]
     label: str
     detail: str = ""
+    #: Canonical fault kind (``drop``/``delay``/``dup``/``reorder``/
+    #: ``storm``/``squash``) — ``fault`` may be an alias like
+    #: ``kill-acks``.
+    kind: str = ""
+    #: Sequence number within the channel (-1 for legacy records).
+    seq: int = -1
+    #: Drawn latency parameter: extra delay (delay/dup) or the absolute
+    #: perturbed delay (reorder).
+    extra: float = 0.0
+    #: Storm/squash victims.
+    victims: Tuple[int, ...] = ()
+
+    @property
+    def channel(self) -> str:
+        """Which counter ``seq`` indexes: deliver, storm, or squash."""
+        if self.kind in ("storm", "squash"):
+            return self.kind
+        return "deliver"
 
     def render(self) -> str:
         where = f"@{self.point}" if self.point else ""
@@ -73,6 +107,15 @@ class FaultInjector:
         self.trace: List[FaultRecord] = []
         self.counts: Dict[str, int] = {}
         self._trace_overflow = 0
+        #: Sequence counters, one per injection channel.  Bumped on every
+        #: call — faulted or not — so two executions of the same workload
+        #: number their injection points identically.
+        self.deliver_seq = 0
+        self.storm_seq = 0
+        self.squash_seq = 0
+        #: Callbacks invoked with every FaultRecord as it is created
+        #: (before the trace cap applies); used by the replay recorder.
+        self.observers: List[Callable[[FaultRecord], None]] = []
         self._message_specs: List[FaultSpec] = [
             s for s in self.plan.specs if s.kind in MESSAGE_KINDS
         ]
@@ -93,6 +136,9 @@ class FaultInjector:
     def bind(self, sim: Simulator) -> None:
         self.sim = sim
 
+    def add_observer(self, observer: Callable[[FaultRecord], None]) -> None:
+        self.observers.append(observer)
+
     # ------------------------------------------------------------------
     # Message-leg injection
     # ------------------------------------------------------------------
@@ -109,6 +155,7 @@ class FaultInjector:
         ``delay <= 0`` invokes ``action`` synchronously, anything else is
         ``sim.after(delay, action, label=label)``.
         """
+        self.deliver_seq += 1
         sim = self.sim
         if sim is not None and self._message_specs:
             for spec in self._message_specs:
@@ -116,9 +163,14 @@ class FaultInjector:
                     continue
                 self._apply(spec, point, action, delay, label, sim)
                 return
+        self._pass_through(action, delay, label)
+
+    def _pass_through(
+        self, action: Callable[[], object], delay: float, label: str
+    ) -> None:
         if delay > 0:
-            assert sim is not None, "deliver() with delay needs a bound simulator"
-            sim.after(delay, action, label=label)
+            assert self.sim is not None, "deliver() with delay needs a bound simulator"
+            self.sim.after(delay, action, label=label)
         else:
             action()
 
@@ -131,24 +183,36 @@ class FaultInjector:
         label: str,
         sim: Simulator,
     ) -> None:
+        seq = self.deliver_seq
         if spec.kind is FaultKind.DROP:
-            self._record(spec.name, point, label, "message lost")
+            self._record(
+                spec.name, point, label, "message lost", kind="drop", seq=seq
+            )
             return
         if spec.kind is FaultKind.DELAY:
             extra = self.rng.uniform(spec.min_delay, spec.max_delay)
-            self._record(spec.name, point, label, f"+{extra:.0f}cy")
+            self._record(
+                spec.name, point, label, f"+{extra:.0f}cy",
+                kind="delay", seq=seq, extra=extra,
+            )
             sim.after(delay + extra, action, label=label)
             return
         if spec.kind is FaultKind.DUP:
             extra = self.rng.uniform(spec.min_delay, spec.max_delay)
-            self._record(spec.name, point, label, f"echo +{extra:.0f}cy")
+            self._record(
+                spec.name, point, label, f"echo +{extra:.0f}cy",
+                kind="dup", seq=seq, extra=extra,
+            )
             sim.after(max(delay, 0.001), action, label=label)
             sim.after(delay + extra, action, label=f"{label}.dup")
             return
         if spec.kind is FaultKind.REORDER:
             jitter = self.rng.uniform(-spec.max_delay, spec.max_delay)
             new_delay = max(0.001, delay + jitter)
-            self._record(spec.name, point, label, f"{delay:.0f}->{new_delay:.0f}cy")
+            self._record(
+                spec.name, point, label, f"{delay:.0f}->{new_delay:.0f}cy",
+                kind="reorder", seq=seq, extra=new_delay,
+            )
             sim.after(new_delay, action, label=label)
             return
         raise AssertionError(f"unhandled message fault kind {spec.kind}")
@@ -164,38 +228,57 @@ class FaultInjector:
         committer's W — the worst case Table 1 allows — so invalidations
         fan out system-wide and the ack path is stressed.
         """
+        self.storm_seq += 1
         spec = self._storm_spec
         if spec is None or num_procs <= 1 or self.rng.random() >= spec.rate:
             return []
         victims = [p for p in range(num_procs) if p != committer]
         self._record(
-            spec.name, None, f"commit by P{committer}", f"{len(victims)} false positives"
+            spec.name, None, f"commit by P{committer}",
+            f"{len(victims)} false positives",
+            kind="storm", seq=self.storm_seq, victims=tuple(victims),
         )
         return victims
 
     def squash_victims(self, num_procs: int, committer: int) -> List[int]:
         """Processors to spuriously squash at this commit, or ``[]``."""
+        self.squash_seq += 1
         spec = self._squash_spec
         if spec is None or num_procs <= 1 or self.rng.random() >= spec.rate:
             return []
         victim = self.rng.choice([p for p in range(num_procs) if p != committer])
-        self._record(spec.name, None, f"commit by P{committer}", f"squash P{victim}")
+        self._record(
+            spec.name, None, f"commit by P{committer}", f"squash P{victim}",
+            kind="squash", seq=self.squash_seq, victims=(victim,),
+        )
         return [victim]
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def _record(
-        self, fault: str, point: Optional[FaultPoint], label: str, detail: str
+        self,
+        fault: str,
+        point: Optional[FaultPoint],
+        label: str,
+        detail: str,
+        kind: str = "",
+        seq: int = -1,
+        extra: float = 0.0,
+        victims: Tuple[int, ...] = (),
     ) -> None:
         self.counts[fault] = self.counts.get(fault, 0) + 1
+        now = self.sim.now if self.sim is not None else 0.0
+        record = FaultRecord(
+            now, fault, point.value if point else None, label, detail,
+            kind=kind or fault, seq=seq, extra=extra, victims=victims,
+        )
+        for observer in self.observers:
+            observer(record)
         if len(self.trace) >= _TRACE_CAP:
             self._trace_overflow += 1
             return
-        now = self.sim.now if self.sim is not None else 0.0
-        self.trace.append(
-            FaultRecord(now, fault, point.value if point else None, label, detail)
-        )
+        self.trace.append(record)
 
     @property
     def total_injected(self) -> int:
@@ -209,3 +292,132 @@ class FaultInjector:
         if self._trace_overflow:
             text += f" ({self._trace_overflow} trace records elided)"
         return text
+
+
+# ----------------------------------------------------------------------
+# Scripted replay of explicit fault schedules
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScriptedFault:
+    """One scripted perturbation: what to do at a numbered injection point."""
+
+    kind: str  # drop | delay | dup | reorder
+    extra: float = 0.0
+
+
+class ScriptedFaultInjector(FaultInjector):
+    """Replays an explicit ``{seq: fault}`` script instead of drawing.
+
+    The script is keyed by the channel sequence counters of
+    :class:`FaultInjector` (``deliver_seq``, ``storm_seq``,
+    ``squash_seq``), so a schedule extracted from a recorded run's
+    :class:`FaultRecord` trace re-applies the *same* faults to the
+    *same* protocol messages.  Subsets of a schedule are what the
+    delta-debugging minimizer in :mod:`repro.replay.minimizer` searches
+    over, and the surviving minimal script ships inside the minimized
+    trace so ``replay run`` can re-drive it.
+
+    No randomness is consumed: two runs under the same script are
+    bit-identical.
+    """
+
+    def __init__(
+        self,
+        deliver_script: Optional[Dict[int, ScriptedFault]] = None,
+        storm_script: Optional[Dict[int, Tuple[int, ...]]] = None,
+        squash_script: Optional[Dict[int, Tuple[int, ...]]] = None,
+        label: str = "scripted",
+    ):
+        super().__init__(FaultPlan.none(), seed=0, label=label)
+        self.deliver_script = dict(deliver_script or {})
+        self.storm_script = {k: tuple(v) for k, v in (storm_script or {}).items()}
+        self.squash_script = {k: tuple(v) for k, v in (squash_script or {}).items()}
+
+    @property
+    def active(self) -> bool:
+        # Watchdogs must arm exactly as they did in the recorded run:
+        # a scripted injector is always "active" even with an empty
+        # script, because the run it minimizes had an active injector.
+        return True
+
+    def script_size(self) -> int:
+        return (
+            len(self.deliver_script)
+            + len(self.storm_script)
+            + len(self.squash_script)
+        )
+
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        point: FaultPoint,
+        action: Callable[[], object],
+        delay: float = 0.0,
+        label: str = "",
+    ) -> None:
+        self.deliver_seq += 1
+        seq = self.deliver_seq
+        fault = self.deliver_script.get(seq)
+        sim = self.sim
+        if fault is None or sim is None:
+            self._pass_through(action, delay, label)
+            return
+        if fault.kind == "drop":
+            self._record(
+                "drop", point, label, "message lost (scripted)",
+                kind="drop", seq=seq,
+            )
+            return
+        if fault.kind == "delay":
+            self._record(
+                "delay", point, label, f"+{fault.extra:.0f}cy (scripted)",
+                kind="delay", seq=seq, extra=fault.extra,
+            )
+            sim.after(delay + fault.extra, action, label=label)
+            return
+        if fault.kind == "dup":
+            self._record(
+                "dup", point, label, f"echo +{fault.extra:.0f}cy (scripted)",
+                kind="dup", seq=seq, extra=fault.extra,
+            )
+            sim.after(max(delay, 0.001), action, label=label)
+            sim.after(delay + fault.extra, action, label=f"{label}.dup")
+            return
+        if fault.kind == "reorder":
+            self._record(
+                "reorder", point, label,
+                f"{delay:.0f}->{fault.extra:.0f}cy (scripted)",
+                kind="reorder", seq=seq, extra=fault.extra,
+            )
+            sim.after(max(0.001, fault.extra), action, label=label)
+            return
+        raise AssertionError(f"unhandled scripted fault kind {fault.kind!r}")
+
+    def storm_procs(self, num_procs: int, committer: int) -> List[int]:
+        self.storm_seq += 1
+        victims = self.storm_script.get(self.storm_seq)
+        if not victims:
+            return []
+        victims = tuple(p for p in victims if p != committer and p < num_procs)
+        if victims:
+            self._record(
+                "storm", None, f"commit by P{committer}",
+                f"{len(victims)} false positives (scripted)",
+                kind="storm", seq=self.storm_seq, victims=victims,
+            )
+        return list(victims)
+
+    def squash_victims(self, num_procs: int, committer: int) -> List[int]:
+        self.squash_seq += 1
+        victims = self.squash_script.get(self.squash_seq)
+        if not victims:
+            return []
+        victims = tuple(p for p in victims if p != committer and p < num_procs)
+        if victims:
+            self._record(
+                "squash", None, f"commit by P{committer}",
+                f"squash {','.join(f'P{v}' for v in victims)} (scripted)",
+                kind="squash", seq=self.squash_seq, victims=victims,
+            )
+        return list(victims)

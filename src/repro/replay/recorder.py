@@ -1,0 +1,439 @@
+"""The trace recorder: observe a run, emit a reconstructible trace.
+
+The recorder uses the same wrapping pattern as
+:class:`~repro.tools.chunk_trace.ChunkTracer` — callbacks are wrapped,
+never replaced with different behaviour — so attaching it cannot change
+a simulation's outcome (the tools tests assert this bit-for-bit).  It
+hooks:
+
+* the chunk lifecycle on every BulkSC driver (start/close/grant/commit/
+  squash) via :func:`wrap_chunk_events`, shared with ``ChunkTracer``;
+* the arbiter's ``decide`` (one record per request: grant/deny/need-R);
+* the commit engine's serialization instant (the chunk's position in
+  the SC total order);
+* invalidation delivery to each victim processor;
+* every injected fault, via the injector's observer hook.
+
+:func:`record_run` is the one-call entry point: build the machine from
+pure data (a workload spec + config name + fault metadata), run it with
+a recorder attached, and return the finished
+:class:`~repro.replay.schema.Trace` — the exact inverse of
+:func:`repro.replay.replayer.replay_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.faults.injector import (
+    FaultInjector,
+    FaultRecord,
+    ScriptedFault,
+    ScriptedFaultInjector,
+)
+from repro.faults.plan import FaultPlan
+from repro.params import NAMED_CONFIGS
+from repro.replay.schema import MAX_RECORDS, Trace, TraceRecord, make_header
+from repro.replay.workload import build_workload, workload_name
+from repro.verify.sc_checker import check_sequential_consistency
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import Machine, RunResult
+
+#: Event budget for recorded runs — matches the chaos harness: small
+#: enough to abort genuine livelocks, generous for retry storms.
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+def wrap_chunk_events(
+    machine: "Machine",
+    callback: Callable[[int, object, str, str], None],
+) -> None:
+    """Instrument every BulkSC driver's chunk lifecycle.
+
+    ``callback(proc, chunk, event, detail)`` fires on start/close/grant/
+    commit/squash.  Wrapping is behaviour-preserving: originals run
+    unchanged.  Shared by :class:`TraceRecorder` and
+    :class:`~repro.tools.chunk_trace.ChunkTracer`.
+    """
+    from repro.core.driver import BulkSCDriver
+
+    for driver in machine.drivers:
+        if isinstance(driver, BulkSCDriver):
+            _wrap_one_driver(driver, callback)
+
+
+def _wrap_one_driver(driver, callback) -> None:
+    original_ensure = driver._ensure_chunk
+
+    def traced_ensure():
+        had = driver._current is not None
+        ok = original_ensure()
+        if ok and not had and driver._current is not None:
+            callback(driver.proc, driver._current, "start", "")
+        return ok
+
+    driver._ensure_chunk = traced_ensure
+
+    original_close = driver._close_current
+
+    def traced_close(reason):
+        chunk = driver._current
+        original_close(reason)
+        if chunk is not None and not chunk.is_empty:
+            callback(driver.proc, chunk, "close", reason)
+
+    driver._close_current = traced_close
+
+    original_granted = driver._on_chunk_granted
+
+    def traced_granted(chunk):
+        callback(driver.proc, chunk, "grant", "")
+        original_granted(chunk)
+
+    driver._on_chunk_granted = traced_granted
+
+    original_committed = driver._on_chunk_committed
+
+    def traced_committed(chunk):
+        callback(driver.proc, chunk, "commit", f"{chunk.instructions} instr")
+        original_committed(chunk)
+
+    driver._on_chunk_committed = traced_committed
+
+    original_squash = driver._squash_from
+
+    def traced_squash(oldest, now):
+        for chunk in driver.bdm.active_chunks():
+            if chunk.is_active and chunk.chunk_id >= oldest.chunk_id:
+                callback(
+                    driver.proc, chunk, "squash", f"{chunk.instructions} instr lost"
+                )
+        original_squash(oldest, now)
+
+    driver._squash_from = traced_squash
+
+
+class TraceRecorder:
+    """Records a machine's scheduling/protocol event stream as a trace."""
+
+    def __init__(self, machine: "Machine", header: dict):
+        self.machine = machine
+        self.header = header
+        self.records: List[TraceRecord] = []
+        self._seq = 0
+        self._elided = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, machine: "Machine", header: dict) -> "TraceRecorder":
+        """Instrument a (not yet run) machine."""
+        recorder = cls(machine, header)
+        wrap_chunk_events(machine, recorder._on_chunk_event)
+        if machine.arbiter is not None:
+            recorder._wrap_arbiter(machine.arbiter)
+        if machine.commit_engine is not None:
+            recorder._wrap_commit_engine(machine.commit_engine)
+        recorder._wrap_invalidation_delivery()
+        machine.fault_injector.add_observer(recorder._on_fault)
+        return recorder
+
+    def _wrap_arbiter(self, arbiter) -> None:
+        recorder = self
+        original_decide = arbiter.decide
+
+        def traced_decide(proc, *args, **kwargs):
+            decision = original_decide(proc, *args, **kwargs)
+            if decision.needs_r_signature:
+                ev = "arb.need_r"
+            elif decision.granted:
+                ev = "arb.grant"
+            else:
+                ev = "arb.deny"
+            recorder._record(ev, proc, {"reason": decision.reason})
+            return decision
+
+        arbiter.decide = traced_decide
+
+    def _wrap_commit_engine(self, engine) -> None:
+        recorder = self
+        original_serialize = engine._serialize
+
+        def traced_serialize(txn):
+            recorder._record(
+                "commit.serialize",
+                txn.chunk.proc,
+                {"chunk": txn.chunk.chunk_id, "commit": txn.commit_id},
+            )
+            original_serialize(txn)
+
+        engine._serialize = traced_serialize
+
+    def _wrap_invalidation_delivery(self) -> None:
+        recorder = self
+        machine = self.machine
+        original_deliver = machine.deliver_commit_to_proc
+
+        def traced_deliver(proc, chunk, now):
+            recorder._record(
+                "inv.deliver",
+                proc,
+                {"chunk": chunk.chunk_id, "committer": chunk.proc},
+            )
+            original_deliver(proc, chunk, now)
+
+        machine.deliver_commit_to_proc = traced_deliver
+
+    # ------------------------------------------------------------------
+    def _on_chunk_event(self, proc: int, chunk, event: str, detail: str) -> None:
+        data: Dict[str, object] = {"chunk": chunk.chunk_id}
+        if detail:
+            data["detail"] = detail
+        self._record(f"chunk.{event}", proc, data)
+
+    def _on_fault(self, record: FaultRecord) -> None:
+        self._record(
+            "fault",
+            None,
+            {
+                "fault": record.fault,
+                "kind": record.kind,
+                "channel": record.channel,
+                "seq": record.seq,
+                "point": record.point,
+                "label": record.label,
+                "detail": record.detail,
+                "extra": record.extra,
+                "victims": list(record.victims),
+            },
+        )
+
+    def _record(self, ev: str, p: Optional[int], data: Dict[str, object]) -> None:
+        if len(self.records) >= MAX_RECORDS:
+            self._elided += 1
+            return
+        self._seq += 1
+        self.records.append(
+            TraceRecord(seq=self._seq, t=self.machine.sim.now, ev=ev, p=p, data=data)
+        )
+
+    # ------------------------------------------------------------------
+    def finish(
+        self,
+        result: Optional["RunResult"] = None,
+        error: Optional[str] = None,
+        forbidden: Optional[bool] = None,
+    ) -> Trace:
+        """Build the footer from the machine's end state and close the trace."""
+        machine = self.machine
+        sc_ok: Optional[bool] = None
+        sc_reason = ""
+        if error is None and machine.history.enabled:
+            check = check_sequential_consistency(machine.history)
+            sc_ok = check.ok
+            sc_reason = check.reason
+        footer = {
+            "footer": True,
+            "records": len(self.records),
+            "records_elided": self._elided,
+            "cycles": result.cycles if result is not None else machine.sim.now,
+            "final_memory": {
+                str(addr): value
+                for addr, value in sorted(machine.memory.nonzero_words().items())
+            },
+            "registers": {
+                str(t.proc): dict(t.registers) for t in machine.threads
+            },
+            "io_log": [list(entry) for entry in machine.io_log],
+            "sc_ok": sc_ok,
+            "sc_reason": sc_reason,
+            "forbidden": forbidden,
+            "error": error,
+            "rng_draws": machine.sim.rng.draws,
+            "injector_draws": machine.fault_injector.rng.draws,
+            "total_faults": machine.fault_injector.total_injected,
+            "stats": machine.stats.snapshot(),
+        }
+        return Trace(header=self.header, records=self.records, footer=footer)
+
+
+# ----------------------------------------------------------------------
+# One-call record entry point
+# ----------------------------------------------------------------------
+
+@dataclass
+class RecordedRun:
+    """A finished recorded run: the trace plus convenience outcome flags."""
+
+    trace: Trace
+    result: Optional["RunResult"]
+    error: Optional[str]
+
+    @property
+    def sc_ok(self) -> Optional[bool]:
+        return self.trace.footer.get("sc_ok")
+
+    @property
+    def forbidden(self) -> Optional[bool]:
+        return self.trace.footer.get("forbidden")
+
+    @property
+    def failed(self) -> bool:
+        return (
+            self.error is not None
+            or self.sc_ok is False
+            or bool(self.forbidden)
+        )
+
+
+def build_injector(
+    faults: Optional[dict], fault_script: Optional[dict], default_label: str
+) -> FaultInjector:
+    """Build the injector described by trace-header fault metadata."""
+    if fault_script is not None:
+        deliver = {
+            int(seq): ScriptedFault(
+                kind=entry["kind"], extra=float(entry.get("extra", 0.0))
+            )
+            for seq, entry in fault_script.get("deliver", {}).items()
+        }
+        storm = {
+            int(seq): tuple(victims)
+            for seq, victims in fault_script.get("storm", {}).items()
+        }
+        squash = {
+            int(seq): tuple(victims)
+            for seq, victims in fault_script.get("squash", {}).items()
+        }
+        return ScriptedFaultInjector(
+            deliver_script=deliver,
+            storm_script=storm,
+            squash_script=squash,
+            label=default_label,
+        )
+    if faults and faults.get("spelling"):
+        plan = FaultPlan.parse(faults["spelling"], rate=faults.get("rate"))
+        return FaultInjector(
+            plan,
+            seed=int(faults.get("injector_seed", 0)),
+            label=faults.get("injector_label") or default_label,
+        )
+    return FaultInjector()
+
+
+def record_run(
+    spec: dict,
+    config_name: str = "BSCdypvt",
+    seed: int = 0,
+    faults: Optional[str] = None,
+    rate: Optional[float] = None,
+    no_retry: bool = False,
+    injector_seed: Optional[int] = None,
+    injector_label: Optional[str] = None,
+    fault_script: Optional[dict] = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+    kind: str = "run",
+) -> RecordedRun:
+    """Run one workload with a recorder attached and return its trace.
+
+    The argument set is deliberately pure data (strings, ints, dicts):
+    the same values are stored in the trace header, which is what makes
+    the run reconstructible by :func:`~repro.replay.replayer.replay_trace`.
+    """
+    from repro.system import Machine
+
+    if config_name not in NAMED_CONFIGS:
+        raise ReproError(f"unknown configuration {config_name!r}")
+    config = NAMED_CONFIGS[config_name](seed=seed)
+    if no_retry:
+        config = config.with_resilience(retries_enabled=False)
+    programs, space, test = build_workload(spec, config)
+    label = injector_label or f"replay/{workload_name(spec)}"
+    faults_meta = None
+    if faults:
+        faults_meta = {
+            "spelling": faults,
+            "rate": rate,
+            "no_retry": no_retry,
+            "injector_seed": injector_seed if injector_seed is not None else seed,
+            "injector_label": label,
+        }
+    elif no_retry:
+        faults_meta = {
+            "spelling": None,
+            "rate": None,
+            "no_retry": True,
+            "injector_seed": seed,
+            "injector_label": label,
+        }
+    injector = build_injector(faults_meta, fault_script, label)
+    header = make_header(
+        kind=kind,
+        config=config_name,
+        seed=seed,
+        workload=spec,
+        faults=faults_meta,
+        fault_script=fault_script,
+        max_events=max_events,
+    )
+    machine = Machine(
+        config, programs, space, record_history=True, fault_injector=injector
+    )
+    recorder = TraceRecorder.attach(machine, header)
+    result = None
+    error = None
+    try:
+        result = machine.run(max_events=max_events)
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    forbidden = None
+    if test is not None and result is not None and not spec.get("dropped_threads"):
+        # A workload with dropped threads is no longer the litmus test;
+        # its forbidden-outcome predicate reads registers that were
+        # never written.
+        forbidden = bool(test.forbidden(result.registers))
+    trace = recorder.finish(result=result, error=error, forbidden=forbidden)
+    return RecordedRun(trace=trace, result=result, error=error)
+
+
+def chaos_failure_run(report) -> Optional[object]:
+    """First failing run record of a chaos report, or ``None``."""
+    for run in getattr(report, "runs", ()):
+        failing = (
+            run.error is not None
+            or not run.sc_certified
+            or run.forbidden_outcome
+        )
+        if failing and getattr(run, "repro", None):
+            return run
+    return None
+
+
+def save_chaos_failure(report, path: str) -> Optional[str]:
+    """Re-record a chaos campaign's failing run as a replayable trace.
+
+    Chaos runs are deterministic per ``(plan, seed, label)``, so re-driving
+    the failing run with a recorder attached reproduces it exactly; the
+    resulting artifact replays (and minimizes) stand-alone.  Returns the
+    written path, or ``None`` when every run was certified.
+    """
+    from repro.replay.schema import write_trace
+
+    run = chaos_failure_run(report)
+    if run is None:
+        return None
+    recorded = record_run(
+        spec=run.repro["workload"],
+        config_name=report.config_name,
+        seed=run.repro["config_seed"],
+        faults=report.faults_spelling,
+        rate=report.rate,
+        no_retry=not report.retries_enabled,
+        injector_seed=report.seed,
+        injector_label=run.repro["injector_label"],
+        kind="chaos",
+    )
+    write_trace(recorded.trace, path)
+    return path

@@ -9,8 +9,13 @@ and for understanding a workload's commit/squash pattern:
     machine.run()
     print(tracer.render())
 
-The tracer works by wrapping the driver and commit-engine callbacks; the
-simulated machine's behaviour is unchanged.
+The tracer instruments the machine through
+:func:`repro.replay.recorder.wrap_chunk_events` — the same
+behaviour-preserving hook the replay recorder uses — and stores its
+observations as versioned :class:`~repro.replay.schema.TraceRecord`
+entries.  :class:`TraceEvent` remains as the human-facing *view* of one
+record; :meth:`ChunkTracer.as_trace` exports the whole stream as a
+schema-valid ``kind="view"`` trace for tooling.
 """
 
 from __future__ import annotations
@@ -18,7 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING
 
-from repro.core.chunk import Chunk
+from repro.replay.schema import (
+    TRACE_VERSION,
+    Trace,
+    TraceRecord,
+    make_header,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system import Machine
@@ -26,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One chunk transition."""
+    """One chunk transition — a readable view of a trace record."""
 
     time: float
     proc: int
@@ -38,85 +48,78 @@ class TraceEvent:
         base = f"[{self.time:10.1f}] p{self.proc} chunk#{self.chunk_id:<4d} {self.event}"
         return f"{base} ({self.detail})" if self.detail else base
 
+    @classmethod
+    def from_record(cls, record: TraceRecord) -> "TraceEvent":
+        return cls(
+            time=record.t,
+            proc=record.p if record.p is not None else -1,
+            chunk_id=int(record.data.get("chunk", -1)),
+            event=record.ev.split(".", 1)[-1],
+            detail=str(record.data.get("detail", "")),
+        )
+
 
 class ChunkTracer:
-    """Records chunk lifecycle events from a BulkSC machine."""
+    """Records chunk lifecycle events from a BulkSC machine.
+
+    The authoritative stream is :attr:`records` (schema
+    ``TraceRecord``s with ``ev`` of ``chunk.start`` / ``chunk.close`` /
+    ``chunk.grant`` / ``chunk.commit`` / ``chunk.squash``); the query
+    API works on :class:`TraceEvent` views of it.
+    """
 
     def __init__(self, machine: "Machine"):
         self.machine = machine
-        self.events: List[TraceEvent] = []
+        self.records: List[TraceRecord] = []
 
     # ------------------------------------------------------------------
     @classmethod
     def attach(cls, machine: "Machine") -> "ChunkTracer":
         """Instrument a (not yet run) BulkSC machine."""
-        from repro.core.driver import BulkSCDriver
+        from repro.replay.recorder import wrap_chunk_events
 
         tracer = cls(machine)
-        for driver in machine.drivers:
-            if isinstance(driver, BulkSCDriver):
-                tracer._wrap_driver(driver)
+        wrap_chunk_events(machine, tracer._on_chunk_event)
         return tracer
 
-    def _wrap_driver(self, driver) -> None:
-        tracer = self
-
-        original_ensure = driver._ensure_chunk
-
-        def traced_ensure():
-            had = driver._current is not None
-            ok = original_ensure()
-            if ok and not had and driver._current is not None:
-                tracer._record(driver.proc, driver._current, "start")
-            return ok
-
-        driver._ensure_chunk = traced_ensure
-
-        original_close = driver._close_current
-
-        def traced_close(reason):
-            chunk = driver._current
-            original_close(reason)
-            if chunk is not None and not chunk.is_empty:
-                tracer._record(driver.proc, chunk, "close", reason)
-
-        driver._close_current = traced_close
-
-        original_granted = driver._on_chunk_granted
-
-        def traced_granted(chunk):
-            tracer._record(driver.proc, chunk, "grant")
-            original_granted(chunk)
-
-        driver._on_chunk_granted = traced_granted
-
-        original_committed = driver._on_chunk_committed
-
-        def traced_committed(chunk):
-            tracer._record(
-                driver.proc, chunk, "commit", f"{chunk.instructions} instr"
+    def _on_chunk_event(self, proc: int, chunk, event: str, detail: str) -> None:
+        data = {"chunk": chunk.chunk_id}
+        if detail:
+            data["detail"] = detail
+        self.records.append(
+            TraceRecord(
+                seq=len(self.records) + 1,
+                t=self.machine.sim.now,
+                ev=f"chunk.{event}",
+                p=proc,
+                data=data,
             )
-            original_committed(chunk)
-
-        driver._on_chunk_committed = traced_committed
-
-        original_squash = driver._squash_from
-
-        def traced_squash(oldest, now):
-            for chunk in driver.bdm.active_chunks():
-                if chunk.is_active and chunk.chunk_id >= oldest.chunk_id:
-                    tracer._record(
-                        driver.proc, chunk, "squash", f"{chunk.instructions} instr lost"
-                    )
-            original_squash(oldest, now)
-
-        driver._squash_from = traced_squash
+        )
 
     # ------------------------------------------------------------------
-    def _record(self, proc: int, chunk: Chunk, event: str, detail: str = "") -> None:
-        self.events.append(
-            TraceEvent(self.machine.sim.now, proc, chunk.chunk_id, event, detail)
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The recorded stream as readable :class:`TraceEvent` views."""
+        return [TraceEvent.from_record(r) for r in self.records]
+
+    def as_trace(self, config_name: str = "", seed: int = 0) -> Trace:
+        """Export the stream as a schema-valid ``kind="view"`` trace.
+
+        View traces carry no reconstruction guarantee (they only hold
+        chunk lifecycle events), but they share the file format with
+        full replay traces so the same tooling can parse them.
+        """
+        header = make_header(
+            kind="view",
+            config=config_name,
+            seed=seed,
+            workload={"kind": "view", "source": "ChunkTracer"},
+            note=f"chunk lifecycle view (schema v{TRACE_VERSION})",
         )
+        footer = {"footer": True, "records": len(self.records)}
+        return Trace(header=header, records=list(self.records), footer=footer)
 
     # ------------------------------------------------------------------
     # Queries
@@ -146,7 +149,8 @@ class ChunkTracer:
 
     def render(self, limit: int = 200) -> str:
         """A readable timeline of the first ``limit`` events."""
-        lines = [str(e) for e in self.events[:limit]]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more events")
+        events = self.events
+        lines = [str(e) for e in events[:limit]]
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more events")
         return "\n".join(lines)

@@ -4,7 +4,10 @@ The chaos harness produces structured data —
 :class:`~repro.faults.chaos.ChaosReport` with per-run records and, on
 failure, the injected-fault trace.  This module turns both into the text
 the ``chaos`` CLI subcommand prints, and a JSON-able payload for
-machine consumption.
+machine consumption.  Structured fault data uses the versioned replay
+trace schema (:mod:`repro.replay.schema`) — the same ``fault`` record
+shape the replay recorder emits — so there is one trace format across
+the chunk tracer, the chaos harness, and record/replay.
 """
 
 from __future__ import annotations
@@ -13,6 +16,38 @@ from typing import List
 
 from repro.faults.chaos import ChaosReport
 from repro.faults.injector import FaultRecord
+from repro.replay.schema import TraceRecord
+
+
+def fault_trace_records(trace: List[FaultRecord]) -> List[TraceRecord]:
+    """Lift injector fault records into schema ``fault`` trace records.
+
+    The record shape matches what
+    :class:`~repro.replay.recorder.TraceRecorder` emits for the same
+    fault, so chaos payload consumers and replay-trace consumers parse
+    one format.  (Stand-alone fault traces carry no simulated timestamp,
+    so ``t`` is 0.)
+    """
+    return [
+        TraceRecord(
+            seq=i + 1,
+            t=0.0,
+            ev="fault",
+            p=None,
+            data={
+                "fault": record.fault,
+                "kind": record.kind,
+                "channel": record.channel,
+                "seq": record.seq,
+                "point": record.point,
+                "label": record.label,
+                "detail": record.detail,
+                "extra": record.extra,
+                "victims": list(record.victims),
+            },
+        )
+        for i, record in enumerate(trace)
+    ]
 
 
 def render_fault_trace(trace: List[FaultRecord], limit: int = 20) -> str:
@@ -95,4 +130,7 @@ def chaos_report_payload(report: ChaosReport) -> dict:
         "all_certified": report.all_certified,
         "first_error": report.first_error,
         "failure_trace": [r.render() for r in report.failure_trace],
+        "failure_records": [
+            r.to_obj() for r in fault_trace_records(report.failure_trace)
+        ],
     }

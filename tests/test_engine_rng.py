@@ -74,3 +74,42 @@ def test_shuffle_and_sample_deterministic():
     b.shuffle(lb)
     assert la == lb
     assert a.sample(range(100), 5) == b.sample(range(100), 5)
+
+
+class TestDrawAccounting:
+    """The monotonic draw counter backs replay's divergence diagnostics."""
+
+    def test_counter_starts_at_zero(self):
+        assert DeterministicRng(0).draws == 0
+
+    def test_every_primitive_counts(self):
+        rng = DeterministicRng(1)
+        rng.randint(0, 10)
+        rng.random()
+        rng.uniform(0.0, 1.0)
+        rng.choice([1, 2, 3])
+        rng.shuffle([1, 2, 3])
+        rng.sample(range(10), 2)
+        rng.expovariate(1.0)
+        assert rng.draws == 7
+
+    def test_composite_draws_count_each_underlying_draw(self):
+        rng = DeterministicRng(2)
+        rng.geometric(0.5)
+        assert rng.draws >= 1
+        before = rng.draws
+        rng.zipf_index(8)
+        assert rng.draws > before
+
+    def test_counter_matches_across_identical_streams(self):
+        a, b = DeterministicRng(9), DeterministicRng(9)
+        for rng in (a, b):
+            rng.geometric(0.25)
+            rng.randint(0, 5)
+            rng.zipf_index(16)
+        assert a.draws == b.draws
+
+    def test_fork_does_not_consume_draws(self):
+        rng = DeterministicRng(4)
+        rng.fork("child")
+        assert rng.draws == 0

@@ -1,0 +1,119 @@
+"""Record → replay round-trip tests.
+
+The determinism contract: (seed, config, workload, fault plan) fully
+determines a run, so re-driving a recorded trace must reproduce the
+identical event stream, final memory image, registers, and SC verdict.
+"""
+
+import pytest
+
+from repro.replay.recorder import record_run, save_chaos_failure
+from repro.replay.replayer import replay_trace
+from repro.replay.schema import read_trace, write_trace
+from repro.replay.workload import litmus_spec
+from repro.verify.litmus import all_litmus_tests
+
+SEEDS = [0, 1, 2]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("test_name", [t.name for t in all_litmus_tests()])
+def test_litmus_round_trip(test_name, seed):
+    run = record_run(litmus_spec(test_name, (1, 60)), seed=seed)
+    assert run.error is None
+    assert run.sc_ok is True
+    result = replay_trace(run.trace)
+    assert result.ok, result.describe()
+    assert result.divergence is None
+    assert result.footer_mismatches == []
+    # End-state identity, not just stream identity.
+    assert (
+        result.replayed.trace.footer["final_memory"]
+        == run.trace.footer["final_memory"]
+    )
+    assert result.replayed.trace.footer["registers"] == run.trace.footer["registers"]
+    assert result.replayed.sc_ok is run.sc_ok
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_faulted_round_trip(seed):
+    """A chaos-style plan (drop,delay,dup) still replays bit-identically."""
+    run = record_run(
+        litmus_spec("MP", (1, 60)), seed=seed, faults="drop,delay,dup"
+    )
+    result = replay_trace(run.trace)
+    assert result.ok, result.describe()
+    assert (
+        result.replayed.trace.footer["total_faults"]
+        == run.trace.footer["total_faults"]
+    )
+    assert (
+        result.replayed.trace.footer["rng_draws"]
+        == run.trace.footer["rng_draws"]
+    )
+
+
+def test_file_round_trip(tmp_path):
+    """Writing and re-reading the trace changes nothing about replay."""
+    path = str(tmp_path / "sb.jsonl")
+    run = record_run(litmus_spec("SB", (1, 1)), seed=0)
+    write_trace(run.trace, path)
+    loaded = read_trace(path)
+    assert loaded.records == run.trace.records
+    assert loaded.footer == run.trace.footer
+    result = replay_trace(loaded)
+    assert result.ok, result.describe()
+
+
+def test_failing_run_replays_with_same_error(tmp_path):
+    """kill-acks + no-retry fails diagnosably; the failure itself replays."""
+    path = str(tmp_path / "fail.jsonl")
+    run = record_run(
+        litmus_spec("SB", (1, 1)), seed=0, faults="kill-acks", no_retry=True
+    )
+    assert run.error is not None and "FaultInducedError" in run.error
+    write_trace(run.trace, path)
+    result = replay_trace(read_trace(path))
+    assert result.ok, result.describe()
+    assert result.replayed.error == run.error
+
+
+def test_replay_detects_tampering():
+    """A doctored record stream produces a precise first-divergence."""
+    from dataclasses import replace
+
+    run = record_run(litmus_spec("SB", (1, 1)), seed=0)
+    idx = next(
+        i for i, r in enumerate(run.trace.records) if r.ev == "arb.grant"
+    )
+    doctored = replace(run.trace.records[idx], ev="arb.deny")
+    run.trace.records[idx] = doctored
+    result = replay_trace(run.trace)
+    assert not result.ok
+    assert result.divergence is not None
+    assert result.divergence.index == idx
+    assert "arb.deny" in result.divergence.describe()
+
+
+def test_chaos_failure_saved_as_replayable_trace(tmp_path):
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(
+        seed=7, faults="kill-acks", workload="litmus", no_retry=True, quick=True
+    )
+    assert report.first_error is not None
+    path = str(tmp_path / "chaos.jsonl")
+    saved = save_chaos_failure(report, path)
+    assert saved == path
+    trace = read_trace(path)
+    assert trace.kind == "chaos"
+    assert trace.footer["error"] == report.first_error
+    result = replay_trace(trace)
+    assert result.ok, result.describe()
+
+
+def test_stats_identity_across_replay():
+    run = record_run(litmus_spec("IRIW", (60, 1)), seed=1)
+    result = replay_trace(run.trace)
+    assert result.ok
+    assert result.replayed.trace.footer["stats"] == run.trace.footer["stats"]

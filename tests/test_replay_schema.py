@@ -1,0 +1,166 @@
+"""Tests for the versioned JSONL trace format (schema, reader, writer)."""
+
+import json
+
+import pytest
+
+from repro.replay.schema import (
+    TRACE_SCHEMA,
+    TRACE_VERSION,
+    Trace,
+    TraceRecord,
+    TraceValidationError,
+    make_header,
+    read_trace,
+    write_trace,
+)
+
+
+def small_trace(**header_overrides):
+    header = make_header(
+        kind="run",
+        config="BSCdypvt",
+        seed=0,
+        workload={"kind": "litmus", "test": "SB", "stagger": [1, 1]},
+    )
+    header.update(header_overrides)
+    records = [
+        TraceRecord(seq=1, t=0.0, ev="chunk.start", p=0, data={"chunk": 1}),
+        TraceRecord(seq=2, t=5.0, ev="arb.grant", p=0, data={"reason": "ok"}),
+        TraceRecord(
+            seq=3, t=9.0, ev="chunk.commit", p=0,
+            data={"chunk": 1, "detail": "3 instr"},
+        ),
+    ]
+    footer = {"footer": True, "records": 3, "sc_ok": True, "error": None}
+    return Trace(header=header, records=records, footer=footer)
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        small_trace().validate()
+
+    def test_missing_header_key(self):
+        trace = small_trace()
+        del trace.header["seed"]
+        with pytest.raises(TraceValidationError, match="seed"):
+            trace.validate()
+
+    def test_foreign_schema_rejected(self):
+        with pytest.raises(TraceValidationError, match="not a"):
+            small_trace(schema="other-format").validate()
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(TraceValidationError, match="version"):
+            small_trace(version=TRACE_VERSION + 1).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceValidationError, match="kind"):
+            small_trace(kind="mystery").validate()
+
+    def test_sequence_gap_rejected(self):
+        trace = small_trace()
+        trace.records[1] = TraceRecord(seq=7, t=5.0, ev="arb.grant", p=0)
+        with pytest.raises(TraceValidationError, match="sequence"):
+            trace.validate()
+
+    def test_footer_record_count_mismatch(self):
+        trace = small_trace()
+        trace.footer["records"] = 99
+        with pytest.raises(TraceValidationError, match="declares"):
+            trace.validate()
+
+    def test_missing_footer_tag(self):
+        trace = small_trace()
+        trace.footer = {"records": 3}
+        with pytest.raises(TraceValidationError, match="footer"):
+            trace.validate()
+
+    def test_plan_and_script_exclusive(self):
+        trace = small_trace(
+            faults={"spelling": "drop", "rate": None, "no_retry": False},
+            fault_script={"deliver": {"1": {"kind": "drop"}}},
+        )
+        with pytest.raises(TraceValidationError, match="both"):
+            trace.validate()
+
+    def test_no_retry_faults_meta_allowed_next_to_script(self):
+        # A faults dict without a spelling only records resilience
+        # settings (minimized traces carry it alongside the script).
+        small_trace(
+            faults={"spelling": None, "rate": None, "no_retry": True},
+            fault_script={"deliver": {"1": {"kind": "drop"}}},
+        ).validate()
+
+
+class TestFileRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        trace = small_trace()
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.header == trace.header
+        assert loaded.records == trace.records
+        assert loaded.footer == trace.footer
+
+    def test_file_is_jsonl(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_trace(small_trace(), path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == 5  # header + 3 records + footer
+        head = json.loads(lines[0])
+        assert head["schema"] == TRACE_SCHEMA
+        assert head["version"] == TRACE_VERSION
+        assert json.loads(lines[-1])["footer"] is True
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_trace(small_trace(), path)
+        lines = open(path).read().splitlines()
+        open(path, "w").write("\n".join(lines[:-1]))  # drop the footer
+        with pytest.raises(TraceValidationError, match="footer"):
+            read_trace(path)
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_trace(small_trace(), path)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        with pytest.raises(TraceValidationError, match="JSON"):
+            read_trace(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(TraceValidationError, match="empty"):
+            read_trace(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        trace = small_trace()
+        with open(path, "w") as fh:
+            fh.write(json.dumps(trace.header) + "\n")
+            fh.write(json.dumps({"seq": "one", "ev": "x"}) + "\n")
+            fh.write(json.dumps(trace.footer) + "\n")
+        with pytest.raises(TraceValidationError, match="malformed"):
+            read_trace(path)
+
+
+class TestRecordShape:
+    def test_record_round_trips_via_obj(self):
+        record = TraceRecord(
+            seq=4, t=1.5, ev="fault", p=None,
+            data={"fault": "drop", "victims": [1, 2]},
+        )
+        assert TraceRecord.from_obj(record.to_obj()) == record
+
+    def test_render_mentions_event_and_data(self):
+        record = TraceRecord(seq=1, t=3.0, ev="arb.deny", p=2,
+                             data={"reason": "conflict"})
+        text = record.render()
+        assert "arb.deny" in text and "p2" in text and "conflict" in text
+
+    def test_describe_summarizes(self):
+        text = small_trace().describe()
+        assert "kind=run" in text
+        assert "records: 3" in text
