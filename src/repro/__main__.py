@@ -146,6 +146,26 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _chaos_exit_code(report) -> int:
+    """Map a chaos report to the CLI's exit-code contract.
+
+    0 = all runs certified; 1 = SC violation or forbidden outcome;
+    3 = diagnosable typed failure; 4 = livelock; 5 = crash-unrecovered
+    (an arbiter never returned to service after an injected crash).
+    Documented in docs/api.md — CI matrix jobs branch on these.
+    """
+    error = report.first_error
+    if error is not None:
+        if error.startswith("LivelockError"):
+            return 4
+        if error.startswith("RecoveryError"):
+            return 5
+        return 3  # failed diagnosably with a typed ReproError
+    if not report.all_certified:
+        return 1  # SC violation or forbidden outcome — simulator bug
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.faults.chaos import run_chaos
@@ -164,6 +184,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             no_retry=args.no_retry,
             instructions=args.instructions,
             quick=args.quick,
+            crashes=args.crash or (),
         )
     except (ConfigError, ValueError) as exc:
         print(f"chaos: {exc}", file=sys.stderr)
@@ -183,11 +204,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "no failing run to save (campaign fully certified)",
                 file=sys.stderr,
             )
-    if report.first_error is not None:
-        return 3  # failed diagnosably with a typed ReproError
-    if not report.all_certified:
-        return 1  # SC violation or forbidden outcome — simulator bug
-    return 0
+    return _chaos_exit_code(report)
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -246,7 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         default="drop,delay,dup",
         help="comma-separated fault list (drop, delay, dup, reorder, "
-        "storm, squash, kill-acks)",
+        "storm, squash, kill-acks, arbiter-crash)",
+    )
+    p_chaos.add_argument(
+        "--crash",
+        action="append",
+        default=None,
+        metavar="POINT:OCC[:TARGET]",
+        help="scripted arbiter crash, e.g. grant:1:arbiter0 "
+        "(repeatable; applied to every run of the campaign)",
     )
     p_chaos.add_argument(
         "--workload",

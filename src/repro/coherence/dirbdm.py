@@ -176,6 +176,22 @@ class DirBDM:
                 return True
         return False
 
+    def reconcile_recovery(self, live_commit_ids: Set[int]) -> int:
+        """Drop read-disables owned by commits that died with an arbiter.
+
+        After an arbiter crash the recovery manager passes the surviving
+        in-flight commit ids; any disable whose commit is gone would
+        otherwise bounce reads forever (its ``enable_reads`` will never
+        arrive).  Normally a no-op — disables are paired with live
+        transactions — so the count is the interesting signal.
+        """
+        dead = [cid for cid in self._read_disabled if cid not in live_commit_ids]
+        for cid in dead:
+            self._read_disabled.pop(cid)
+        if dead:
+            self.stats.bump("dirbdm.recovery_released_disables", len(dead))
+        return len(dead)
+
     @property
     def active_commits(self) -> int:
         return len(self._read_disabled)

@@ -15,17 +15,37 @@ Otherwise it asks the processor for R and decides as usual.
 reserve the arbiter; while reserved, commit requests from other
 processors are denied, guaranteeing the reserving processor's next chunk
 commits.
+
+**Epochs and crash recovery**: the arbiter numbers its incarnations.  A
+crash (injected via the ``arbiter-crash`` fault) drops the in-flight
+W-list and bumps the epoch; every grant is stamped with the epoch it was
+issued under (the commit engine's *lease*), and releases quote it back,
+so a release for a W that died with the old incarnation is tolerated —
+counted, never raised — even under ``strict_protocol``.  While DOWN the
+arbiter denies everything; during RECONSTRUCTING (driven by
+:class:`~repro.core.recovery.ArbiterRecoveryManager`) surviving commits
+are re-admitted and service is serial — one commit at a time — until the
+re-admitted set drains, restoring full overlapped commit.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.engine.stats import StatsRegistry
 from repro.errors import ProtocolError
 from repro.params import BulkSCConfig
 from repro.signatures.base import Signature
+
+
+class ArbiterMode(enum.Enum):
+    """Service state of one arbiter incarnation."""
+
+    NORMAL = "normal"
+    DOWN = "down"  # crashed; awaiting failover
+    RECONSTRUCTING = "reconstructing"  # new epoch re-admitting survivors
 
 
 @dataclass(frozen=True)
@@ -53,6 +73,15 @@ class Arbiter:
         self._active: Dict[int, Tuple[Signature, int]] = {}
         self._reserved_by: Optional[int] = None
         self._name = f"arbiter{index}"
+        # Crash-recovery state: the incarnation number, the service mode,
+        # and — during reconstruction — the surviving commits whose W was
+        # re-admitted and must drain before normal service resumes.
+        self._epoch = 1
+        self._mode = ArbiterMode.NORMAL
+        self._readmitted: Set[int] = set()
+        #: Called with ``now`` when reconstruction drains back to NORMAL
+        #: (wired by the recovery manager for latency accounting).
+        self.on_recovered: Optional[Callable[[float], None]] = None
 
     # ------------------------------------------------------------------
     # Decision
@@ -70,11 +99,21 @@ class Arbiter:
         the arbiter then either grants (empty list) or requests R.
         """
         self.stats.bump(f"{self._name}.requests")
+        if self._mode is ArbiterMode.DOWN:
+            self.stats.bump(f"{self._name}.denied_down")
+            return ArbitrationDecision(False, reason="arbiter down (awaiting recovery)")
         if self._reserved_by is not None and self._reserved_by != proc:
             self.stats.bump(f"{self._name}.denied_prearbitration")
             return ArbitrationDecision(False, reason="pre-arbitration reservation")
         if not self._active:
             return self._grant(w_sig, now, r_was_needed=False)
+        if self._mode is ArbiterMode.RECONSTRUCTING:
+            # Degraded mode: one commit at a time until every re-admitted
+            # survivor drains, then full overlapped commit resumes.
+            self.stats.bump(f"{self._name}.denied_reconstructing")
+            return ArbitrationDecision(
+                False, reason="arbiter reconstructing (serial commit)"
+            )
         if self.config.serialize_commits:
             # Naive design (Section 3.2.1): only one chunk commits at a
             # time, regardless of signature overlap.
@@ -118,7 +157,7 @@ class Arbiter:
         self._active[commit_id] = (w_sig, proc)
         self._track_occupancy(now)
 
-    def release(self, commit_id: int, now: float) -> None:
+    def release(self, commit_id: int, now: float, epoch: Optional[int] = None) -> None:
         """All invalidation acknowledgements arrived; drop the W.
 
         Releasing a ``commit_id`` the arbiter never admitted (or already
@@ -127,8 +166,16 @@ class Arbiter:
         the commit engine and arbiter disagree about the W list.  Under
         fault injection duplicate releases are expected (duplicated ack
         messages) and the count is the interesting signal.
+
+        ``epoch`` is the lease the grant was stamped with.  An unknown
+        release quoting a *dead* epoch is the expected aftermath of a
+        crash — the W died with the old incarnation's list — so it is
+        tolerated (``released_dead_epoch``) even under strict checking.
         """
         if commit_id not in self._active:
+            if epoch is not None and epoch != self._epoch:
+                self.stats.bump(f"{self._name}.released_dead_epoch")
+                return
             self.stats.bump(f"{self._name}.released_unknown")
             if self.config.strict_protocol:
                 raise ProtocolError(
@@ -137,12 +184,15 @@ class Arbiter:
             return
         self._active.pop(commit_id)
         self._track_occupancy(now)
+        if self._mode is ArbiterMode.RECONSTRUCTING:
+            self._readmitted.discard(commit_id)
+            self.finish_reconstruction_if_drained(now)
 
-    def abort(self, commit_id: int, now: float) -> None:
+    def abort(self, commit_id: int, now: float, epoch: Optional[int] = None) -> None:
         """A granted chunk was abandoned (squash raced the grant)."""
         if commit_id in self._active:
             self.stats.bump(f"{self._name}.aborted_commits")
-        self.release(commit_id, now)
+        self.release(commit_id, now, epoch=epoch)
 
     def _track_occupancy(self, now: float) -> None:
         self.stats.time_weighted(f"{self._name}.pending_w").set(
@@ -150,10 +200,71 @@ class Arbiter:
         )
 
     # ------------------------------------------------------------------
+    # Crash / recovery (epoch failover)
+    # ------------------------------------------------------------------
+    def crash(self, now: float) -> int:
+        """Crash-stop this incarnation: drop every in-flight W.
+
+        The epoch bump is what makes the loss safe: grants stamped with
+        the dead epoch are rejected at the processor, and their releases
+        are tolerated, so a pre-crash grant can never race a
+        post-recovery one.  Returns the number of W signatures dropped.
+        """
+        dropped = len(self._active)
+        self._active.clear()
+        self._readmitted.clear()
+        self._reserved_by = None
+        self._epoch += 1
+        self._mode = ArbiterMode.DOWN
+        self.stats.bump(f"{self._name}.crashes")
+        self._track_occupancy(now)
+        return dropped
+
+    def begin_reconstruction(self, now: float) -> None:
+        """The new epoch starts polling processors for surviving commits."""
+        if self._mode is ArbiterMode.DOWN:
+            self._mode = ArbiterMode.RECONSTRUCTING
+
+    def readmit(self, commit_id: int, proc: int, w_sig: Signature, now: float) -> None:
+        """Re-admit a surviving in-flight commit during reconstruction.
+
+        The W signature is re-collected from the committing processor's
+        BDM (it never left: the processor holds it until its acks
+        complete), so the rebuilt list is exactly the surviving slice of
+        the dead incarnation's list.  Idempotent; empty W still never
+        enters the list.
+        """
+        if w_sig.is_empty():
+            return
+        if commit_id not in self._active:
+            self._active[commit_id] = (w_sig, proc)
+            self._track_occupancy(now)
+            self.stats.bump(f"{self._name}.readmitted")
+        if self._mode is ArbiterMode.RECONSTRUCTING:
+            self._readmitted.add(commit_id)
+
+    def finish_reconstruction_if_drained(self, now: float) -> None:
+        """Restore normal (overlapped) service once survivors drained."""
+        if self._mode is ArbiterMode.RECONSTRUCTING and not self._readmitted:
+            self._mode = ArbiterMode.NORMAL
+            if self.on_recovered is not None:
+                self.on_recovered(now)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def mode(self) -> ArbiterMode:
+        return self._mode
+
+    # ------------------------------------------------------------------
     # Pre-arbitration (forward progress)
     # ------------------------------------------------------------------
     def reserve(self, proc: int) -> bool:
         """Reserve exclusive commit rights for ``proc`` (pre-arbitration)."""
+        if self._mode is not ArbiterMode.NORMAL:
+            return False
         if self._reserved_by is not None and self._reserved_by != proc:
             return False
         self._reserved_by = proc

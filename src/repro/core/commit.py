@@ -52,12 +52,26 @@ to succeed.  A victim still reading stale lines therefore cannot commit a
 colliding chunk — the arbiter's R∩W / W∩W checks deny it — until the
 (re-sent) invalidation arrives and squashes it.  Delay converts into
 denial-latency, never into a consistency violation.
+
+Epochs and leases (arbiter crash recovery)
+------------------------------------------
+Every grant carries a *lease*: the epoch(s) of the arbiter incarnation(s)
+that issued it — a 1-tuple for the central arbiter, one epoch per
+involved range when distributed.  ``_on_grant_received`` rejects a grant
+whose lease no longer matches the live epochs (the issuing incarnation
+crashed after serializing but before the message landed), and release /
+abort quote the lease back so the arbiter can tell a post-crash release
+(tolerated) from a real protocol bug (raises under ``strict_protocol``).
+After a crash the :class:`~repro.core.recovery.ArbiterRecoveryManager`
+walks :meth:`CommitEngine.inflight_transactions` to re-admit surviving
+W signatures and re-issue grants under the new epoch
+(:meth:`CommitEngine.recovery_renew`).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.core.chunk import Chunk, ChunkState
 from repro.engine.event import Event
@@ -115,6 +129,12 @@ class CommitTransaction:
         #: must happen exactly when this is set.
         self.admitted = False
         self.retry_pending = False
+        #: The arbiter epoch(s) the grant was issued under — ``None``
+        #: until granted.  Central: a 1-tuple; distributed: one epoch per
+        #: involved range (aligned with ``ranges``).
+        self.lease: Optional[Tuple[int, ...]] = None
+        #: Involved address ranges (distributed topology only).
+        self.ranges: Optional[Tuple[int, ...]] = None
         self.home_dirs: List[int] = []
         self.invalidation_procs: Set[int] = set()
         #: Victims whose W delivery has not executed yet (lost/late legs).
@@ -145,6 +165,10 @@ class CommitEngine:
             self.bulk_config.arbiter_topology is ArbiterTopology.DISTRIBUTED
         )
         self._next_commit_id = 0
+        #: Live transactions by commit id — the recovery manager polls
+        #: this (the "ask every processor for its outstanding commit"
+        #: step) to rebuild a crashed arbiter's W-list.
+        self._inflight: Dict[int, CommitTransaction] = {}
 
     # ------------------------------------------------------------------
     # Submission (called by drivers when a chunk may arbitrate)
@@ -163,6 +187,7 @@ class CommitEngine:
             )
         self._next_commit_id += 1
         txn = CommitTransaction(self._next_commit_id, chunk, on_committed, on_granted)
+        self._inflight[txn.commit_id] = txn
         chunk.mark(ChunkState.ARBITRATING)
         # With the RSig optimization the first message carries only W;
         # without it, R travels with every request.
@@ -309,17 +334,21 @@ class CommitEngine:
         now = self.sim.now
         machine = self.machine
         self.stats.bump("commit.grants")
+        if self._distributed:
+            txn.ranges = machine.arbiter.ranges_of(
+                chunk.true_written_lines | chunk.true_read_lines
+            )
         if chunk.w_sig.is_empty():
             self.stats.bump("commit.empty_w_commits")
         elif self._distributed:
-            ranges = machine.arbiter.ranges_of(
-                chunk.true_written_lines | chunk.true_read_lines
+            machine.arbiter.admit(
+                txn.commit_id, chunk.proc, chunk.w_sig, txn.ranges, now
             )
-            machine.arbiter.admit(txn.commit_id, chunk.proc, chunk.w_sig, ranges, now)
             txn.admitted = True
         else:
             machine.arbiter.admit(txn.commit_id, chunk.proc, chunk.w_sig, now)
             txn.admitted = True
+        txn.lease = self._current_lease(txn)
         self._serialize(txn)
         txn.phase = TxnPhase.GRANT_SENT
         self._send_grant(txn)
@@ -363,18 +392,31 @@ class CommitEngine:
         """
         self.injector.deliver(
             FaultPoint.GRANT,
-            lambda: self._on_grant_received(txn),
+            # Bind the lease at send time: a crash between send and
+            # delivery renews ``txn.lease``, and this (now stale) copy is
+            # what lets the receiver reject the dead incarnation's grant.
+            lambda lease=txn.lease: self._on_grant_received(txn, lease),
             delay=0.0,
             label=f"commit{txn.commit_id}.grant",
         )
 
-    def _on_grant_received(self, txn: CommitTransaction) -> None:
+    def _on_grant_received(
+        self, txn: CommitTransaction, lease: Optional[Tuple[int, ...]] = None
+    ) -> None:
         chunk = txn.chunk
         machine = self.machine
         if txn.phase is not TxnPhase.GRANT_SENT:
             # Duplicate grant message (dup/reorder fault, or a watchdog
             # re-send whose original eventually arrived).
             self.stats.bump("commit.duplicate_grants")
+            return
+        if lease is not None and (
+            lease != txn.lease or not self._lease_valid(txn, lease)
+        ):
+            # The issuing arbiter incarnation died in flight.  The
+            # recovery manager will re-issue this grant under the new
+            # epoch; accepting the dead one could race it.
+            self.stats.bump("commit.stale_epoch_grants")
             return
         # The chunk was serialized (and marked GRANTED, hence
         # squash-immune) at the arbiter instant, so no squash can have
@@ -513,10 +555,11 @@ class CommitEngine:
     def _finish(self, txn: CommitTransaction) -> None:
         self._cancel_watchdog(txn)
         txn.phase = TxnPhase.DONE
+        self._inflight.pop(txn.commit_id, None)
         for dir_index in txn.home_dirs:
             self.machine.dirbdms[dir_index].enable_reads(txn.commit_id)
         if txn.admitted:
-            self.machine.arbiter.release(txn.commit_id, self.sim.now)
+            self._release_at_arbiter(txn)
             txn.admitted = False
         self.stats.bump("commit.completed")
 
@@ -524,12 +567,59 @@ class CommitEngine:
         """A squash overtook the transaction; withdraw all protocol state."""
         self._cancel_watchdog(txn)
         txn.phase = TxnPhase.ABANDONED
+        self._inflight.pop(txn.commit_id, None)
         for dir_index in txn.home_dirs:
             self.machine.dirbdms[dir_index].enable_reads(txn.commit_id)
         if txn.admitted:
-            self.machine.arbiter.abort(txn.commit_id, self.sim.now)
+            self._abort_at_arbiter(txn)
             txn.admitted = False
         self.stats.bump("commit.abandoned_by_squash")
+
+    # ------------------------------------------------------------------
+    # Epoch/lease bookkeeping (arbiter crash recovery)
+    # ------------------------------------------------------------------
+    def _current_lease(self, txn: CommitTransaction) -> Tuple[int, ...]:
+        if self._distributed:
+            return self.machine.arbiter.lease_for(txn.ranges or (0,))
+        return (self.machine.arbiter.epoch,)
+
+    def _lease_valid(self, txn: CommitTransaction, lease: Tuple[int, ...]) -> bool:
+        if self._distributed:
+            return self.machine.arbiter.lease_valid(txn.ranges or (0,), lease)
+        return lease == (self.machine.arbiter.epoch,)
+
+    def _release_at_arbiter(self, txn: CommitTransaction) -> None:
+        if self._distributed:
+            self.machine.arbiter.release(txn.commit_id, self.sim.now, lease=txn.lease)
+        else:
+            epoch = txn.lease[0] if txn.lease else None
+            self.machine.arbiter.release(txn.commit_id, self.sim.now, epoch=epoch)
+
+    def _abort_at_arbiter(self, txn: CommitTransaction) -> None:
+        if self._distributed:
+            self.machine.arbiter.abort(txn.commit_id, self.sim.now, lease=txn.lease)
+        else:
+            epoch = txn.lease[0] if txn.lease else None
+            self.machine.arbiter.abort(txn.commit_id, self.sim.now, epoch=epoch)
+
+    def inflight_transactions(self) -> List[CommitTransaction]:
+        """Live transactions, in commit-id order (deterministic)."""
+        return [self._inflight[cid] for cid in sorted(self._inflight)]
+
+    def recovery_renew(self, txn: CommitTransaction) -> int:
+        """Re-stamp a surviving transaction with the new incarnation's lease.
+
+        Called by the recovery manager after (optionally) re-admitting the
+        W.  A transaction whose grant message died with the old epoch
+        (phase still GRANT_SENT) gets the grant re-sent under the fresh
+        lease; returns the number of grants re-sent (0 or 1).
+        """
+        txn.lease = self._current_lease(txn)
+        if txn.phase is TxnPhase.GRANT_SENT:
+            self.stats.bump("commit.recovery_grant_resends")
+            self._send_grant(txn)
+            return 1
+        return 0
 
     # ------------------------------------------------------------------
     # Watchdogs & bounded retry (resilience)

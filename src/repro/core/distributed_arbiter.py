@@ -62,6 +62,19 @@ class GlobalArbiter:
     def note_released(self, commit_id: int) -> None:
         self._cached.pop(commit_id, None)
 
+    def crash(self) -> int:
+        """Crash-stop the G-arbiter: drop the W cache.
+
+        The cache is pure acceleration state — authoritative W lists live
+        in the range arbiters — so losing it costs fan-out round trips,
+        never correctness, and no reconstruct phase is needed.  Returns
+        the number of cached W signatures dropped.
+        """
+        dropped = len(self._cached)
+        self._cached.clear()
+        self.stats.bump("garbiter.crashes")
+        return dropped
+
 
 class DistributedArbiter:
     """Per-address-range arbiters plus the G-arbiter front end.
@@ -160,6 +173,11 @@ class DistributedArbiter:
         ranges: Sequence[int],
         now: float,
     ) -> None:
+        if w_sig.is_empty():
+            # Parity with the central arbiter: an empty W never enters any
+            # list, so it must not be registered for release routing either
+            # (its release is "unknown" on both topologies).
+            return
         involved = tuple(ranges) if ranges else (0,)
         for r in involved:
             self.arbiters[r].admit(commit_id, proc, w_sig, now)
@@ -167,7 +185,33 @@ class DistributedArbiter:
         if len(involved) > 1:
             self.g_arbiter.note_granted(commit_id, w_sig)
 
-    def release(self, commit_id: int, now: float) -> None:
+    def lease_for(self, ranges: Sequence[int]) -> Tuple[int, ...]:
+        """The per-range epochs a grant over ``ranges`` is stamped with."""
+        involved = tuple(ranges) if ranges else (0,)
+        return tuple(self.arbiters[r].epoch for r in involved)
+
+    def lease_valid(self, ranges: Sequence[int], lease: Sequence[int]) -> bool:
+        """Whether every involved range still serves the leased epoch."""
+        return tuple(lease) == self.lease_for(ranges)
+
+    def _per_range_epochs(
+        self, involved: Tuple[int, ...], lease: Optional[Sequence[int]]
+    ) -> Tuple[Optional[int], ...]:
+        if lease is not None and len(lease) == len(involved):
+            return tuple(lease)
+        return (None,) * len(involved)
+
+    def release(
+        self, commit_id: int, now: float, lease: Optional[Sequence[int]] = None
+    ) -> None:
+        """Release across the admitted ranges, quoting each its lease epoch.
+
+        The front end never crashes, so an unknown ``commit_id`` here is a
+        real protocol disagreement and honors ``strict_protocol`` exactly
+        like the central arbiter.  Per-range releases pass the lease epoch
+        through so a range whose incarnation died since the grant tolerates
+        the release instead of raising.
+        """
         if commit_id not in self._admitted_ranges:
             self.stats.bump("distarb.released_unknown")
             if self.config.strict_protocol:
@@ -175,11 +219,14 @@ class DistributedArbiter:
                     f"release of unknown commit {commit_id} at distributed arbiter"
                 )
             return
-        for r in self._admitted_ranges.pop(commit_id):
-            self.arbiters[r].release(commit_id, now)
+        involved = self._admitted_ranges.pop(commit_id)
+        for r, epoch in zip(involved, self._per_range_epochs(involved, lease)):
+            self.arbiters[r].release(commit_id, now, epoch=epoch)
         self.g_arbiter.note_released(commit_id)
 
-    def abort(self, commit_id: int, now: float) -> None:
+    def abort(
+        self, commit_id: int, now: float, lease: Optional[Sequence[int]] = None
+    ) -> None:
         if commit_id not in self._admitted_ranges:
             self.stats.bump("distarb.released_unknown")
             if self.config.strict_protocol:
@@ -187,8 +234,9 @@ class DistributedArbiter:
                     f"abort of unknown commit {commit_id} at distributed arbiter"
                 )
             return
-        for r in self._admitted_ranges.pop(commit_id):
-            self.arbiters[r].abort(commit_id, now)
+        involved = self._admitted_ranges.pop(commit_id)
+        for r, epoch in zip(involved, self._per_range_epochs(involved, lease)):
+            self.arbiters[r].abort(commit_id, now, epoch=epoch)
         self.g_arbiter.note_released(commit_id)
 
     # ------------------------------------------------------------------

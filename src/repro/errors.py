@@ -58,6 +58,17 @@ class StarvationError(ResilienceError):
     """A processor made no commit progress despite pre-arbitration."""
 
 
+class RecoveryError(ResilienceError):
+    """A crashed arbiter failed to return to normal service in time.
+
+    Raised by the recovery watchdog when, after an injected arbiter
+    crash, the new epoch never finishes reconstruction (crash-unrecovered
+    — e.g. a second crash storm or a wedged reconstruct phase).  Distinct
+    from :class:`CommitTimeoutError` so the chaos CLI can report
+    crash-unrecovered with its own exit code.
+    """
+
+
 class ProgramError(ReproError):
     """A thread program is malformed (bad operands, unknown ops, ...)."""
 

@@ -27,13 +27,13 @@ injector).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.isa import Compute
 from repro.cpu.thread import ThreadProgram
 from repro.errors import ReproError
 from repro.faults.injector import FaultInjector, FaultRecord
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import CrashPoint, FaultPlan, crash_script_from
 from repro.harness.runner import ALL_APPS, build_app_workload
 from repro.memory.address import AddressMap, AddressSpace
 from repro.params import NAMED_CONFIGS
@@ -62,6 +62,10 @@ class ChaosRunRecord:
     sc_certified: bool = False
     sc_reason: str = ""
     forbidden_outcome: bool = False
+    #: Arbiter crashes applied during this run and the mean crash-to-
+    #: recovered latency (cycles) across them.
+    crashes: int = 0
+    recovery_cycles: float = 0.0
     #: ``"TypeName: message"`` when the run raised a typed ReproError.
     error: Optional[str] = None
     #: Reconstruction data for the replay recorder: workload spec,
@@ -91,6 +95,12 @@ class ChaosReport:
     #: can be re-recorded as replayable traces.
     faults_spelling: str = ""
     rate: Optional[float] = None
+    #: Scripted arbiter-crash specs (canonical spelling), if any.
+    crashes_spelling: Tuple[str, ...] = ()
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(r.crashes for r in self.runs)
 
     @property
     def total_faults(self) -> int:
@@ -129,6 +139,7 @@ def run_chaos(
     no_retry: bool = False,
     instructions: int = 2000,
     quick: bool = False,
+    crashes: Sequence[str] = (),
 ) -> ChaosReport:
     """Run a chaos campaign and return its report.
 
@@ -144,10 +155,14 @@ def run_chaos(
             message raises :class:`~repro.errors.FaultInducedError`.
         instructions: Per-thread instruction budget for synthetic apps.
         quick: Trim the campaign for smoke tests (CI).
+        crashes: Scripted arbiter crashes (``POINT:OCC[:TARGET]``
+            spellings), applied to *every* run of the campaign.
     """
     if workload not in ("litmus", "synthetic", "mix"):
         raise ValueError(f"unknown chaos workload {workload!r}")
     plan = FaultPlan.parse(faults, rate=rate)
+    crash_points = [CrashPoint.parse(s) for s in crashes]
+    crash_script = crash_script_from(crash_points)
     report = ChaosReport(
         seed=seed,
         workload=workload,
@@ -156,13 +171,17 @@ def run_chaos(
         retries_enabled=not no_retry,
         faults_spelling=faults,
         rate=rate,
+        crashes_spelling=tuple(cp.canonical() for cp in crash_points),
     )
     if workload in ("litmus", "mix"):
-        if not _litmus_campaign(report, plan, seed, config_name, no_retry, quick):
+        if not _litmus_campaign(
+            report, plan, seed, config_name, no_retry, quick, crash_script
+        ):
             return report
     if workload in ("synthetic", "mix"):
         _synthetic_campaign(
-            report, plan, seed, config_name, no_retry, instructions, quick
+            report, plan, seed, config_name, no_retry, instructions, quick,
+            crash_script,
         )
     return report
 
@@ -207,6 +226,8 @@ def _execute(
     record.cycles = result.cycles
     record.faults_injected = injector.total_injected
     record.fault_summary = injector.summary()
+    record.crashes = int(result.stat("recovery.crashes"))
+    record.recovery_cycles = result.stat("recovery.total_cycles.mean")
     check = check_sequential_consistency(result.history)
     record.sc_certified = check.ok
     record.sc_reason = check.reason
@@ -221,6 +242,7 @@ def _litmus_campaign(
     config_name: str,
     no_retry: bool,
     quick: bool,
+    crash_script: Optional[Dict] = None,
 ) -> bool:
     tests = all_litmus_tests()
     seeds = [seed] if quick else [seed, seed + 1]
@@ -246,6 +268,8 @@ def _litmus_campaign(
                 ]
                 label = f"litmus/{test.name}/s{run_seed}/g{gi}"
                 injector = FaultInjector(plan, seed=seed, label=label)
+                if crash_script:
+                    injector.crash_script = dict(crash_script)
                 record = ChaosRunRecord(
                     name=f"litmus:{test.name}/s{run_seed}/g{gi}",
                     seed=run_seed,
@@ -270,6 +294,7 @@ def _synthetic_campaign(
     no_retry: bool,
     instructions: int,
     quick: bool,
+    crash_script: Optional[Dict] = None,
 ) -> bool:
     apps = ALL_APPS[:1] if quick else ALL_APPS[:3]
     config = _config_for(config_name, seed, no_retry)
@@ -277,6 +302,8 @@ def _synthetic_campaign(
         workload = build_app_workload(app, config, instructions, seed)
         label = f"synthetic/{app}"
         injector = FaultInjector(plan, seed=seed, label=label)
+        if crash_script:
+            injector.crash_script = dict(crash_script)
         record = ChaosRunRecord(
             name=f"synthetic:{app}",
             seed=seed,

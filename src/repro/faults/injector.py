@@ -46,6 +46,11 @@ from repro.faults.plan import (
 #: Keep the fault trace bounded; counts are always exact.
 _TRACE_CAP = 5000
 
+#: Random (plan-driven) arbiter crashes per run are capped so a crash
+#: storm cannot outpace recovery forever — the recovery watchdog turns a
+#: genuinely unrecoverable run into a diagnosable RecoveryError instead.
+_MAX_RANDOM_CRASHES = 5
+
 
 @dataclass(frozen=True)
 class FaultRecord:
@@ -77,8 +82,12 @@ class FaultRecord:
 
     @property
     def channel(self) -> str:
-        """Which counter ``seq`` indexes: deliver, storm, or squash."""
-        if self.kind in ("storm", "squash"):
+        """Which counter ``seq`` indexes: deliver, storm, squash, or crash.
+
+        Crash records number per-point occurrences (``seq`` is the Nth
+        delivery at ``point``), not the global deliver counter.
+        """
+        if self.kind in ("storm", "squash", "crash"):
             return self.kind
         return "deliver"
 
@@ -121,6 +130,20 @@ class FaultInjector:
         ]
         self._storm_spec = self._find(FaultKind.STORM)
         self._squash_spec = self._find(FaultKind.SQUASH)
+        self._crash_spec = self._find(FaultKind.CRASH)
+        #: Per-point delivery counters — the crash channel's sequence
+        #: space.  Counting per point (not globally) keeps scripted crash
+        #: positions meaningful across config changes that shift message
+        #: interleavings.
+        self._point_occurrence: Dict[str, int] = {}
+        #: Scripted crashes: ``{(point_value, occurrence): target}``.
+        self.crash_script: Dict[Tuple[str, int], str] = {}
+        #: Wired by the machine: called with a target name, returns True
+        #: if the crash was actually applied.
+        self.crash_handler: Optional[Callable[[str], bool]] = None
+        #: Valid targets for plan-driven (random) crashes.
+        self.crash_targets: List[str] = []
+        self.crashes_fired = 0
 
     def _find(self, kind: FaultKind) -> Optional[FaultSpec]:
         for spec in self.plan.specs:
@@ -131,7 +154,7 @@ class FaultInjector:
     @property
     def active(self) -> bool:
         """True when any fault can ever fire (hardened watchdogs arm on this)."""
-        return self.plan.active
+        return self.plan.active or bool(self.crash_script)
 
     def bind(self, sim: Simulator) -> None:
         self.sim = sim
@@ -156,6 +179,7 @@ class FaultInjector:
         ``sim.after(delay, action, label=label)``.
         """
         self.deliver_seq += 1
+        self._crash_check(point, label)
         sim = self.sim
         if sim is not None and self._message_specs:
             for spec in self._message_specs:
@@ -216,6 +240,41 @@ class FaultInjector:
             sim.after(new_delay, action, label=label)
             return
         raise AssertionError(f"unhandled message fault kind {spec.kind}")
+
+    # ------------------------------------------------------------------
+    # Arbiter crashes
+    # ------------------------------------------------------------------
+    def _crash_check(self, point: FaultPoint, label: str) -> None:
+        """Fire a scripted or plan-driven arbiter crash at this delivery.
+
+        Runs *before* the message itself is handled, so a grant delivery
+        that coincides with its arbiter's crash sees the post-crash epoch
+        and is rejected — there is no window for a dead-epoch grant to
+        land.  Per-point occurrence counters key the crash channel.
+        """
+        occ = self._point_occurrence.get(point.value, 0) + 1
+        self._point_occurrence[point.value] = occ
+        target = self.crash_script.get((point.value, occ))
+        if target is None:
+            spec = self._crash_spec
+            if (
+                spec is None
+                or self.sim is None
+                or self.crashes_fired >= _MAX_RANDOM_CRASHES
+                or point not in spec.points
+                or not self.crash_targets
+                or self.rng.random() >= spec.rate
+            ):
+                return
+            target = self.rng.choice(self.crash_targets)
+        if self.crash_handler is None or not self.crash_handler(target):
+            return
+        self.crashes_fired += 1
+        # ``detail`` carries exactly the target name so the minimizer can
+        # round-trip the record back into a crash script.
+        self._record(
+            "arbiter-crash", point, label, target, kind="crash", seq=occ
+        )
 
     # ------------------------------------------------------------------
     # Protocol-level faults
@@ -328,11 +387,13 @@ class ScriptedFaultInjector(FaultInjector):
         storm_script: Optional[Dict[int, Tuple[int, ...]]] = None,
         squash_script: Optional[Dict[int, Tuple[int, ...]]] = None,
         label: str = "scripted",
+        crash_script: Optional[Dict[Tuple[str, int], str]] = None,
     ):
         super().__init__(FaultPlan.none(), seed=0, label=label)
         self.deliver_script = dict(deliver_script or {})
         self.storm_script = {k: tuple(v) for k, v in (storm_script or {}).items()}
         self.squash_script = {k: tuple(v) for k, v in (squash_script or {}).items()}
+        self.crash_script = dict(crash_script or {})
 
     @property
     def active(self) -> bool:
@@ -346,6 +407,7 @@ class ScriptedFaultInjector(FaultInjector):
             len(self.deliver_script)
             + len(self.storm_script)
             + len(self.squash_script)
+            + len(self.crash_script)
         )
 
     # ------------------------------------------------------------------
@@ -357,6 +419,7 @@ class ScriptedFaultInjector(FaultInjector):
         label: str = "",
     ) -> None:
         self.deliver_seq += 1
+        self._crash_check(point, label)
         seq = self.deliver_seq
         fault = self.deliver_script.get(seq)
         sim = self.sim

@@ -27,7 +27,15 @@ Named faults and their defaults:
                as though aliasing had hit
 ``kill-acks``  drop *all* acknowledgement messages (rate 1.0) — with
                retries disabled this must fail diagnosably
+``arbiter-crash``  crash-stop an arbiter incarnation mid-commit: its
+               in-flight W-list dies and the epoch/lease recovery
+               protocol must restore service (see
+               :mod:`repro.core.recovery`)
 =============  ============================================================
+
+Crashes can also be *scripted* precisely with :class:`CrashPoint`: kill a
+named target at the Nth occurrence of a pipeline phase, e.g.
+``grant:3:arbiter0`` = crash ``arbiter0`` at the third grant delivery.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ class FaultKind(Enum):
     REORDER = "reorder"
     STORM = "storm"  # invalidation-list false-positive storm
     SQUASH = "squash"  # spurious squash of a random processor
+    CRASH = "crash"  # crash-stop an arbiter incarnation
 
 
 #: Kinds that act on individual message deliveries.
@@ -109,6 +118,9 @@ def _default_specs() -> dict:
         "squash": FaultSpec(FaultKind.SQUASH, "squash", frozenset(), rate=0.03),
         "kill-acks": FaultSpec(
             FaultKind.DROP, "kill-acks", frozenset({FaultPoint.ACK}), rate=1.0
+        ),
+        "arbiter-crash": FaultSpec(
+            FaultKind.CRASH, "arbiter-crash", ALL_POINTS, rate=0.002
         ),
     }
 
@@ -172,3 +184,70 @@ class FaultPlan:
         if not self.specs:
             return "no faults"
         return ", ".join(f"{s.name}@{s.rate:g}" for s in self.specs)
+
+
+# ----------------------------------------------------------------------
+# Scripted arbiter crashes
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A scripted arbiter crash: *which* target dies *when*.
+
+    ``occurrence`` counts deliveries of ``point`` (1-based), so
+    ``CrashPoint(FaultPoint.GRANT, 3, "arbiter0")`` kills ``arbiter0``
+    the instant the third grant message is about to be delivered — the
+    crash fires *before* the message, modeling the arbiter dying with
+    the reply still in its output queue.  Targets name range arbiters
+    (``arbiter0`` … ``arbiterN``) or the distributed front end's W cache
+    (``global``).
+    """
+
+    point: FaultPoint
+    occurrence: int
+    target: str = "arbiter0"
+
+    @classmethod
+    def parse(cls, spelling: str) -> "CrashPoint":
+        """Parse the CLI spelling ``POINT:OCCURRENCE[:TARGET]``."""
+        parts = spelling.strip().split(":")
+        if len(parts) not in (2, 3):
+            raise ConfigError(
+                f"crash spec {spelling!r} must be POINT:OCCURRENCE[:TARGET]"
+            )
+        valid = {p.value: p for p in FaultPoint}
+        name = parts[0].strip().lower()
+        if name not in valid:
+            raise ConfigError(
+                f"unknown crash point {name!r}; valid points: "
+                f"{', '.join(sorted(valid))}"
+            )
+        try:
+            occurrence = int(parts[1])
+        except ValueError:
+            raise ConfigError(
+                f"crash occurrence must be an integer, got {parts[1]!r}"
+            ) from None
+        if occurrence < 1:
+            raise ConfigError(f"crash occurrence must be >= 1, got {occurrence}")
+        target = parts[2].strip() if len(parts) == 3 else "arbiter0"
+        if not target:
+            raise ConfigError(f"crash spec {spelling!r} has an empty target")
+        return cls(valid[name], occurrence, target)
+
+    def canonical(self) -> str:
+        """The round-trippable spelling (stored in trace headers)."""
+        return f"{self.point.value}:{self.occurrence}:{self.target}"
+
+
+def crash_script_from(specs) -> dict:
+    """Build the injector's crash script from ``CrashPoint``s or spellings.
+
+    Returns ``{(point_value, occurrence): target}``; later duplicates of
+    the same (point, occurrence) key win, matching CLI append semantics.
+    """
+    script = {}
+    for spec in specs:
+        cp = spec if isinstance(spec, CrashPoint) else CrashPoint.parse(spec)
+        script[(cp.point.value, cp.occurrence)] = cp.target
+    return script

@@ -195,6 +195,12 @@ class ResilienceConfig:
     #: Consecutive no-progress watchdog periods tolerated (escalating to
     #: pre-arbitration) before raising a StarvationError.
     starvation_strikes_before_error: int = 6
+    #: Cycles between an arbiter crash and the new epoch starting its
+    #: reconstruct phase (failure detection + failover election).
+    recovery_delay_cycles: int = 600
+    #: Budget for a crashed arbiter to return to normal service before
+    #: the run fails with a RecoveryError; 0 disables the watchdog.
+    recovery_watchdog_cycles: int = 100_000
 
     def validate(self) -> None:
         if self.commit_timeout_cycles <= 0 or self.ack_timeout_cycles <= 0:
@@ -207,6 +213,10 @@ class ResilienceConfig:
             raise ConfigError("starvation watchdog period cannot be negative")
         if self.starvation_strikes_before_error < 1:
             raise ConfigError("need at least one starvation strike")
+        if self.recovery_delay_cycles <= 0:
+            raise ConfigError("recovery delay must be positive")
+        if self.recovery_watchdog_cycles < 0:
+            raise ConfigError("recovery watchdog period cannot be negative")
 
 
 @dataclass(frozen=True)

@@ -91,6 +91,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
             faults=args.faults,
             rate=args.rate,
             no_retry=args.no_retry,
+            crashes=args.crash or None,
         )
         path = _trace_path(args.out, spec, multiple=len(specs) > 1)
         write_trace(run.trace, path)
@@ -235,6 +236,14 @@ def add_replay_parser(sub: argparse._SubParsersAction) -> None:
     p_rec.add_argument(
         "--no-retry", action="store_true",
         help="disable bounded retries (first lost message fails the run)",
+    )
+    p_rec.add_argument(
+        "--crash",
+        action="append",
+        default=None,
+        metavar="POINT:OCC[:TARGET]",
+        help="scripted arbiter crash while recording, e.g. grant:1:arbiter0 "
+        "(repeatable; recorded into the trace header for replay)",
     )
     p_rec.add_argument(
         "--instructions", type=int, default=2000,

@@ -80,6 +80,9 @@ def _fault_entries(trace: Trace) -> List[_FaultEntry]:
             continue  # legacy record without sequencing — cannot script it
         if channel == "deliver":
             payload = {"kind": data["kind"], "extra": float(data.get("extra", 0.0))}
+        elif channel == "crash":
+            # seq is the per-point occurrence; detail is the target name.
+            payload = {"point": str(data.get("point")), "target": str(data["detail"])}
         else:
             payload = {"victims": list(data.get("victims", ()))}
         entries.append((channel, seq, payload))
@@ -87,10 +90,12 @@ def _fault_entries(trace: Trace) -> List[_FaultEntry]:
 
 
 def _script_from(entries: Sequence[_FaultEntry]) -> dict:
-    script: Dict[str, dict] = {"deliver": {}, "storm": {}, "squash": {}}
+    script: Dict[str, dict] = {"deliver": {}, "storm": {}, "squash": {}, "crash": {}}
     for channel, seq, payload in entries:
         if channel == "deliver":
             script["deliver"][str(seq)] = payload
+        elif channel == "crash":
+            script["crash"][f"{payload['point']}:{seq}"] = payload["target"]
         else:
             script[channel][str(seq)] = payload["victims"]
     return script

@@ -33,7 +33,7 @@ from repro.faults.injector import (
     ScriptedFault,
     ScriptedFaultInjector,
 )
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import CrashPoint, FaultPlan, crash_script_from
 from repro.params import NAMED_CONFIGS
 from repro.replay.schema import MAX_RECORDS, Trace, TraceRecord, make_header
 from repro.replay.workload import build_workload, workload_name
@@ -138,6 +138,8 @@ class TraceRecorder:
             recorder._wrap_commit_engine(machine.commit_engine)
         recorder._wrap_invalidation_delivery()
         machine.fault_injector.add_observer(recorder._on_fault)
+        if getattr(machine, "recovery", None) is not None:
+            machine.recovery.observers.append(recorder._on_recovery)
         return recorder
 
     def _wrap_arbiter(self, arbiter) -> None:
@@ -209,6 +211,11 @@ class TraceRecorder:
                 "victims": list(record.victims),
             },
         )
+
+    def _on_recovery(self, event) -> None:
+        data: Dict[str, object] = {"target": event.target, "epoch": event.epoch}
+        data.update(event.data)
+        self._record(event.kind, None, data)
 
     def _record(self, ev: str, p: Optional[int], data: Dict[str, object]) -> None:
         if len(self.records) >= MAX_RECORDS:
@@ -288,6 +295,15 @@ class RecordedRun:
         )
 
 
+def _parse_crash_script(entries: dict) -> dict:
+    """``{"point:occ": target}`` (JSON spelling) → injector crash script."""
+    script = {}
+    for key, target in entries.items():
+        point, occ = key.rsplit(":", 1)
+        script[(point, int(occ))] = target
+    return script
+
+
 def build_injector(
     faults: Optional[dict], fault_script: Optional[dict], default_label: str
 ) -> FaultInjector:
@@ -312,6 +328,7 @@ def build_injector(
             storm_script=storm,
             squash_script=squash,
             label=default_label,
+            crash_script=_parse_crash_script(fault_script.get("crash", {})),
         )
     if faults and faults.get("spelling"):
         plan = FaultPlan.parse(faults["spelling"], rate=faults.get("rate"))
@@ -335,12 +352,16 @@ def record_run(
     fault_script: Optional[dict] = None,
     max_events: int = DEFAULT_MAX_EVENTS,
     kind: str = "run",
+    crashes: Optional[List[str]] = None,
 ) -> RecordedRun:
     """Run one workload with a recorder attached and return its trace.
 
     The argument set is deliberately pure data (strings, ints, dicts):
     the same values are stored in the trace header, which is what makes
     the run reconstructible by :func:`~repro.replay.replayer.replay_trace`.
+    ``crashes`` lists scripted arbiter crashes as
+    ``POINT:OCCURRENCE[:TARGET]`` spellings (see
+    :class:`~repro.faults.plan.CrashPoint`).
     """
     from repro.system import Machine
 
@@ -369,6 +390,9 @@ def record_run(
             "injector_label": label,
         }
     injector = build_injector(faults_meta, fault_script, label)
+    crash_points = [CrashPoint.parse(spec_) for spec_ in (crashes or [])]
+    if crash_points:
+        injector.crash_script = crash_script_from(crash_points)
     header = make_header(
         kind=kind,
         config=config_name,
@@ -377,6 +401,7 @@ def record_run(
         faults=faults_meta,
         fault_script=fault_script,
         max_events=max_events,
+        crashes=[cp.canonical() for cp in crash_points],
     )
     machine = Machine(
         config, programs, space, record_history=True, fault_injector=injector
@@ -434,6 +459,7 @@ def save_chaos_failure(report, path: str) -> Optional[str]:
         injector_seed=report.seed,
         injector_label=run.repro["injector_label"],
         kind="chaos",
+        crashes=list(getattr(report, "crashes_spelling", ()) or ()) or None,
     )
     write_trace(recorded.trace, path)
     return path

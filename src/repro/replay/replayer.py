@@ -127,6 +127,7 @@ def replay_trace(trace: Trace) -> ReplayResult:
         fault_script=header.get("fault_script"),
         max_events=header.get("max_events") or DEFAULT_MAX_EVENTS,
         kind=header["kind"],
+        crashes=header.get("crashes"),
     )
     result = ReplayResult(trace=trace, replayed=replayed)
     recorded_draws = int(trace.footer.get("rng_draws", -1))

@@ -18,7 +18,11 @@ meaning or shape of existing fields; readers reject traces whose version
 they do not understand (no silent best-effort parsing — a trace is a
 correctness artifact).  Adding new *optional* header/footer keys or new
 record ``ev`` kinds is backward compatible and does not bump the
-version.
+version.  This reader accepts every version in
+:data:`SUPPORTED_VERSIONS`; v2 added the arbiter crash-recovery records
+(``arb.crash``/``arb.reconstruct``/``arb.recovered``), the ``crash``
+fault channel, and the optional ``crashes`` header key — v1 traces are
+a strict subset and still read.
 
 Record event kinds currently emitted:
 
@@ -34,6 +38,9 @@ Record event kinds currently emitted:
 ``commit.serialize`` chunk serialized at the arbiter's grant instant
 ``inv.deliver``     committed W delivered to a victim processor
 ``fault``           the injector perturbed a message or protocol step
+``arb.crash``       an arbiter incarnation crash-stopped (v2)
+``arb.reconstruct`` the new epoch re-admitted surviving commits (v2)
+``arb.recovered``   reconstruction drained; normal service resumed (v2)
 ==================  =====================================================
 """
 
@@ -46,7 +53,10 @@ from typing import Dict, List, Optional
 from repro.errors import ReproError
 
 TRACE_SCHEMA = "repro-trace"
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Versions this reader understands (v1 traces lack recovery records).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Record cap per trace: bounded artifacts, exact counts in the footer.
 MAX_RECORDS = 250_000
@@ -103,6 +113,7 @@ def make_header(
     fault_script: Optional[dict] = None,
     max_events: Optional[int] = None,
     note: str = "",
+    crashes: Optional[list] = None,
 ) -> dict:
     """Build a schema-complete trace header.
 
@@ -110,7 +121,9 @@ def make_header(
     (``spelling``, ``rate``, ``no_retry``, ``injector_seed``,
     ``injector_label``); ``fault_script`` is an explicit ``{seq: fault}``
     schedule for a :class:`~repro.faults.injector.ScriptedFaultInjector`.
-    A trace carries at most one of the two.
+    A trace carries at most one of the two.  ``crashes`` (v2) lists
+    scripted arbiter-crash points in their canonical
+    ``POINT:OCCURRENCE:TARGET`` spelling; it composes with either.
     """
     header = {
         "schema": TRACE_SCHEMA,
@@ -123,6 +136,8 @@ def make_header(
         "fault_script": fault_script,
         "max_events": max_events,
     }
+    if crashes:
+        header["crashes"] = list(crashes)
     if note:
         header["note"] = note
     return header
@@ -146,10 +161,11 @@ class Trace:
             raise TraceValidationError(
                 f"not a {TRACE_SCHEMA} file (schema={self.header['schema']!r})"
             )
-        if self.header["version"] != TRACE_VERSION:
+        if self.header["version"] not in SUPPORTED_VERSIONS:
             raise TraceValidationError(
                 f"unsupported trace version {self.header['version']!r} "
-                f"(this reader understands version {TRACE_VERSION})"
+                f"(this reader understands versions "
+                f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)})"
             )
         if self.header["kind"] not in _KNOWN_KINDS:
             raise TraceValidationError(
@@ -199,6 +215,8 @@ class Trace:
             script = h["fault_script"]
             sizes = {k: len(v) for k, v in script.items() if v}
             lines.append(f"fault script: {sizes}")
+        if h.get("crashes"):
+            lines.append(f"crashes: {', '.join(h['crashes'])}")
         lines.append(
             f"records: {len(self.records)}   cycles: {f.get('cycles')}   "
             f"faults injected: {f.get('total_faults')}"

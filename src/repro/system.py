@@ -29,6 +29,7 @@ from repro.core.commit import CommitEngine
 from repro.core.arbiter import Arbiter
 from repro.core.distributed_arbiter import DistributedArbiter
 from repro.core.driver import BulkSCDriver
+from repro.core.recovery import ArbiterRecoveryManager
 from repro.cpu.driver import DriverState, ProcessorDriver
 from repro.cpu.sync import SyncManager
 from repro.cpu.thread import ThreadContext, ThreadProgram
@@ -132,6 +133,7 @@ class Machine:
         self.dirbdms: List[DirBDM] = []
         self.arbiter = None
         self.commit_engine: Optional[CommitEngine] = None
+        self.recovery: Optional[ArbiterRecoveryManager] = None
         if config.model is ConsistencyModelKind.BULKSC:
             self._build_bulksc()
         self.drivers: List[ProcessorDriver] = [
@@ -175,6 +177,9 @@ class Machine:
         else:
             self.arbiter = Arbiter(cfg.bulksc, self.stats)
         self.commit_engine = CommitEngine(self)
+        self.recovery = ArbiterRecoveryManager(self)
+        self.fault_injector.crash_handler = self.recovery.crash
+        self.fault_injector.crash_targets = self.recovery.crash_targets()
 
     def _build_driver(self, proc: int) -> ProcessorDriver:
         model = self.config.model
@@ -232,6 +237,18 @@ class Machine:
             lines.append(desc)
         if self.fault_injector.active:
             lines.append(f"injected faults: {self.fault_injector.summary()}")
+        if self.recovery is not None:
+            arbiters = (
+                self.arbiter.arbiters
+                if isinstance(self.arbiter, DistributedArbiter)
+                else [self.arbiter]
+            )
+            for arb in arbiters:
+                if arb.mode.value != "normal":
+                    lines.append(
+                        f"arbiter{arb.index}: mode={arb.mode.value} "
+                        f"epoch={arb.epoch}"
+                    )
         return "\n".join(lines)
 
     def check_missed_collision(self, proc: int, chunk: Chunk, now: float) -> None:

@@ -72,6 +72,11 @@ def render_chaos_report(report: ChaosReport) -> str:
         f"runs: {len(report.runs)}   certified: {report.certified}   "
         f"faults injected: {report.total_faults}",
     ]
+    if report.crashes_spelling:
+        lines.append(
+            f"arbiter crashes: {', '.join(report.crashes_spelling)} "
+            f"({report.total_crashes} fired)"
+        )
     for run in report.runs:
         if run.error is not None:
             status = "ERROR"
@@ -82,6 +87,10 @@ def render_chaos_report(report: ChaosReport) -> str:
         else:
             status = "ok"
         detail = f" [{run.fault_summary}]" if run.faults_injected else ""
+        if run.crashes:
+            detail += (
+                f" crashes={run.crashes} recovery≈{run.recovery_cycles:.0f}cy"
+            )
         lines.append(f"  {status:12s} {run.name}{detail}")
         if run.error is not None:
             lines.append(f"    {run.error}")
@@ -121,10 +130,14 @@ def chaos_report_payload(report: ChaosReport) -> dict:
                 "fault_summary": r.fault_summary,
                 "sc_certified": r.sc_certified,
                 "forbidden_outcome": r.forbidden_outcome,
+                "crashes": r.crashes,
+                "recovery_cycles": r.recovery_cycles,
                 "error": r.error,
             }
             for r in report.runs
         ],
+        "crashes": list(report.crashes_spelling),
+        "total_crashes": report.total_crashes,
         "total_faults": report.total_faults,
         "certified": report.certified,
         "all_certified": report.all_certified,
