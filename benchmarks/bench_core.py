@@ -1,0 +1,140 @@
+"""Core simulator throughput: events/sec and chunk-commits/sec.
+
+Measures the two workloads of :mod:`repro.harness.perf`:
+
+* the litmus suite under BSCdypvt with 4-instruction chunks, where
+  nearly every instruction pays the arbitrate/grant/expand/ack pipeline
+  (the signature-kernel stress), and
+* one synthetic application at the paper's chunk size (the per-access
+  path stress).
+
+``BENCH_core.json`` pins two reference points measured on the seed
+machine: ``baseline_pre_kernels`` — the tree *before* the packed
+signature kernels, lazy cache sets, and decode rewrite — and
+``current`` — the tree with them.  The contract has two layers:
+
+* **Machine-independent** (asserted everywhere): the work counts —
+  events fired, chunk commits, retired instructions, run count — must
+  match the committed ``current`` numbers exactly at the default seed.
+  A change here means the simulation itself changed, not the hardware.
+* **Wall-clock** (asserted with generous margins, seed-machine
+  reference): throughput must stay comfortably above the pre-kernel
+  baseline.  The committed current/baseline ratio is ~4.5x on litmus;
+  the assertion floor is 2.5x, so only a real hot-path regression (not
+  host noise) trips it.
+
+Set ``REPRO_BENCH_UPDATE=1`` to rewrite the ``current`` section after
+an intentional change (work counts or a new optimization).
+
+CI knobs: ``REPRO_BENCH_OUT=path`` writes the measured numbers as JSON
+(uploaded as a workflow artifact), and ``REPRO_BENCH_GATE_CURRENT=1``
+additionally fails the run if events/sec drops more than 25% below the
+committed ``current`` reference — the tight regression gate, meaningful
+on hosts comparable to the one that recorded the reference.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness.perf import measure_core
+from repro.signatures.bloom import INDEX_CACHE
+
+BENCH_FILE = Path(__file__).with_name("BENCH_core.json")
+REPEATS = int(os.environ.get("REPRO_BENCH_CORE_REPEATS", "3"))
+#: Minimum events/sec speedup over the pre-kernel baseline (seed machine
+#: measured ~4.5x; the gap to 2.5 absorbs host variance).
+MIN_LITMUS_SPEEDUP = 2.5
+
+
+def _committed():
+    return json.loads(BENCH_FILE.read_text())
+
+
+def _update(committed, results):
+    committed["current"] = {
+        key: result.as_dict() for key, result in results.items()
+    }
+    base = committed["baseline_pre_kernels"]
+    committed["speedup_events_per_sec"] = {
+        key: round(
+            results[key].events_per_sec / base[key]["events_per_sec"], 2
+        )
+        for key in results
+    }
+    BENCH_FILE.write_text(json.dumps(committed, indent=2, sort_keys=True) + "\n")
+
+
+def test_core_throughput(benchmark, bench_seed):
+    results = measure_core(seed=bench_seed, repeats=REPEATS)
+    benchmark.pedantic(
+        measure_core,
+        kwargs={"seed": bench_seed, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for result in results.values():
+        print(result.render())
+    print(f"signature index cache: {INDEX_CACHE.counters()}")
+
+    committed = _committed()
+    if os.environ.get("REPRO_BENCH_UPDATE") == "1":
+        _update(committed, results)
+
+    out_path = os.environ.get("REPRO_BENCH_OUT")
+    if out_path:
+        out_file = Path(out_path)
+        out_file.parent.mkdir(parents=True, exist_ok=True)
+        out_file.write_text(
+            json.dumps(
+                {key: result.as_dict() for key, result in results.items()},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    litmus = results["litmus_commit_heavy"]
+    baseline = committed["baseline_pre_kernels"]["litmus_commit_heavy"]
+    if bench_seed == 0:
+        # Work counts are simulation outputs, identical on every host.
+        for key, result in results.items():
+            recorded = committed["current"][key]
+            for field in ("runs", "events", "commits", "instructions"):
+                assert getattr(result, field) == recorded[field], (
+                    f"{key}.{field}: measured {getattr(result, field)}, "
+                    f"committed {recorded[field]} — the simulation changed; "
+                    f"rerun with REPRO_BENCH_UPDATE=1 if intentional"
+                )
+        assert litmus.events == baseline["events"], (
+            "commit-heavy litmus fired a different event count than the "
+            "pre-kernel tree — the kernels changed behavior, not just speed"
+        )
+    # The wall-clock gate: the packed kernels + lazy cache sets must keep
+    # the commit-heavy path well above the pre-kernel tree.
+    speedup = litmus.events_per_sec / baseline["events_per_sec"]
+    assert speedup >= MIN_LITMUS_SPEEDUP, (
+        f"litmus commit-heavy throughput {litmus.events_per_sec:,.0f} ev/s "
+        f"is only {speedup:.2f}x the pre-kernel baseline "
+        f"({baseline['events_per_sec']:,.0f} ev/s); floor is "
+        f"{MIN_LITMUS_SPEEDUP}x"
+    )
+    assert results["synthetic"].events_per_sec > baseline_synth_floor(committed)
+
+    if os.environ.get("REPRO_BENCH_GATE_CURRENT") == "1":
+        # The CI regression gate: stay within 25% of the committed
+        # current reference (refresh it with REPRO_BENCH_UPDATE=1 when
+        # an intentional change lands).
+        for key, result in results.items():
+            reference = committed["current"][key]["events_per_sec"]
+            floor = 0.75 * reference
+            assert result.events_per_sec >= floor, (
+                f"{key}: {result.events_per_sec:,.0f} ev/s is >25% below "
+                f"the committed current reference ({reference:,.0f} ev/s)"
+            )
+
+
+def baseline_synth_floor(committed) -> float:
+    """The synthetic path must at least not regress below pre-kernel."""
+    return 0.75 * committed["baseline_pre_kernels"]["synthetic"]["events_per_sec"]

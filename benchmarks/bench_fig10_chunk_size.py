@@ -10,12 +10,15 @@ from repro.harness.experiments import figure10
 from repro.harness.metrics import geometric_mean
 
 
-def test_figure10_chunk_size(benchmark, bench_instructions, bench_seed, bench_apps):
+def test_figure10_chunk_size(
+    benchmark, bench_instructions, bench_seed, bench_apps, bench_jobs
+):
     def run():
         return figure10(
             instructions=bench_instructions,
             seed=bench_seed,
             apps=bench_apps,
+            jobs=bench_jobs,
         )
 
     series, report = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -14,10 +14,15 @@ from repro.harness.experiments import figure11
 from repro.harness.metrics import geometric_mean
 
 
-def test_figure11_traffic(benchmark, bench_instructions, bench_seed, bench_apps):
+def test_figure11_traffic(
+    benchmark, bench_instructions, bench_seed, bench_apps, bench_jobs
+):
     def run():
         return figure11(
-            instructions=bench_instructions, seed=bench_seed, apps=bench_apps
+            instructions=bench_instructions,
+            seed=bench_seed,
+            apps=bench_apps,
+            jobs=bench_jobs,
         )
 
     breakdowns, report = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -7,6 +7,8 @@ prints it.  Scale knobs (environment variables):
   (default 8000; the paper's billions are unnecessary for the shapes).
 * ``REPRO_BENCH_APPS`` — comma-separated app subset (default: all 13).
 * ``REPRO_BENCH_SEED`` — workload seed (default 0).
+* ``REPRO_BENCH_JOBS`` — worker processes for sweep fan-out (default 1
+  = serial; 0 = one per CPU).  Artifacts are bit-identical either way.
 """
 
 import os
@@ -25,6 +27,7 @@ def _env_int(name: str, default: int) -> int:
 
 BENCH_INSTRUCTIONS = _env_int("REPRO_BENCH_INSTRUCTIONS", 8000)
 BENCH_SEED = _env_int("REPRO_BENCH_SEED", 0)
+BENCH_JOBS = _env_int("REPRO_BENCH_JOBS", 1)
 _apps_env = os.environ.get("REPRO_BENCH_APPS", "")
 BENCH_APPS = tuple(
     app.strip() for app in _apps_env.split(",") if app.strip()
@@ -47,8 +50,17 @@ def bench_apps():
 
 
 @pytest.fixture(scope="session")
-def shared_runner(bench_instructions, bench_seed):
+def bench_jobs():
+    return BENCH_JOBS
+
+
+@pytest.fixture(scope="session")
+def shared_runner(bench_instructions, bench_seed, bench_jobs):
     """One memoized sweep runner shared by every benchmark in a session."""
     from repro.harness.runner import SweepRunner
 
-    return SweepRunner(instructions_per_thread=bench_instructions, seed=bench_seed)
+    return SweepRunner(
+        instructions_per_thread=bench_instructions,
+        seed=bench_seed,
+        jobs=bench_jobs,
+    )

@@ -13,7 +13,13 @@ Commands:
 * ``replay`` — deterministic record/replay of runs, schedule
   exploration, and failure minimization.
 * ``experiments`` — regenerate one of the paper's tables/figures.
+* ``profile`` — run the simulator core under cProfile and print the
+  hottest functions.
 * ``list`` — show the available applications and configurations.
+
+``chaos`` and ``experiments`` accept ``--jobs N`` to fan their
+independent simulation cells across worker processes; results are
+bit-identical to a serial run (see :mod:`repro.harness.parallel`).
 """
 
 from __future__ import annotations
@@ -185,6 +191,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             instructions=args.instructions,
             quick=args.quick,
             crashes=args.crash or (),
+            jobs=args.jobs,
         )
     except (ConfigError, ValueError) as exc:
         print(f"chaos: {exc}", file=sys.stderr)
@@ -208,14 +215,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    runner = SweepRunner(args.instructions, args.seed)
+    runner = SweepRunner(args.instructions, args.seed, jobs=args.jobs)
     apps = args.apps or list(ALL_APPS)
     if args.name == "figure9":
         __, report = figure9(runner, apps=apps)
     elif args.name == "figure10":
-        __, report = figure10(instructions=args.instructions, seed=args.seed, apps=apps)
+        __, report = figure10(
+            instructions=args.instructions, seed=args.seed, apps=apps, jobs=args.jobs
+        )
     elif args.name == "figure11":
-        __, report = figure11(instructions=args.instructions, seed=args.seed, apps=apps)
+        __, report = figure11(
+            instructions=args.instructions, seed=args.seed, apps=apps, jobs=args.jobs
+        )
     elif args.name == "table3":
         __, report = table3(runner, apps=apps)
     elif args.name == "table4":
@@ -225,6 +236,37 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 2
     print(report)
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.harness.perf import profile_run
+
+    try:
+        print(
+            profile_run(
+                target=args.target,
+                config_name=args.config,
+                instructions=args.instructions,
+                seed=args.seed,
+                top=args.top,
+                sort=args.sort,
+            )
+        )
+    except KeyError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation cells "
+        "(1 = serial, 0 = one per CPU); results are bit-identical "
+        "to a serial run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -305,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="re-record the first failing run as a replayable trace file",
     )
+    _add_jobs(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     from repro.analysis.cli import add_analyze_parser
@@ -322,7 +365,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--apps", nargs="*", help="app subset (default: all)")
     _add_common(p_exp)
+    _add_jobs(p_exp)
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_prof = sub.add_parser(
+        "profile", help="profile the simulator core under cProfile"
+    )
+    p_prof.add_argument(
+        "--target",
+        default="litmus",
+        choices=["litmus", "synthetic"],
+        help="workload to profile (default litmus)",
+    )
+    p_prof.add_argument("--config", default="BSCdypvt", help="configuration name")
+    p_prof.add_argument(
+        "--instructions",
+        type=int,
+        default=4000,
+        help="instructions per thread for the synthetic target",
+    )
+    p_prof.add_argument("--seed", type=int, default=0, help="workload seed")
+    p_prof.add_argument(
+        "--top", type=int, default=25, help="number of hot functions to print"
+    )
+    p_prof.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "calls"],
+        help="pstats sort order",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -127,12 +127,13 @@ class Arbiter:
         if len(self._active) >= self.config.max_simultaneous_commits:
             self.stats.bump(f"{self._name}.denied_capacity")
             return ArbitrationDecision(False, reason="commit capacity reached")
-        effective_r = r_sig if r_sig is not None else w_sig.empty_like()
+        # The fast predicates: packed-bank ANDs with early exit, no
+        # intermediate signature per (listed W, request) pair.
         for active_w, __ in self._active.values():
-            if not active_w.intersect(effective_r).is_empty():
+            if r_sig is not None and not active_w.disjoint(r_sig):
                 self.stats.bump(f"{self._name}.denied_r_collision")
                 return ArbitrationDecision(False, reason="R collides with committing W")
-            if not active_w.intersect(w_sig).is_empty():
+            if not active_w.disjoint(w_sig):
                 self.stats.bump(f"{self._name}.denied_w_collision")
                 return ArbitrationDecision(False, reason="W collides with committing W")
         return self._grant(w_sig, now, r_was_needed=True)

@@ -27,6 +27,7 @@ from repro.engine.stats import StatsRegistry
 from repro.memory.cache import SetAssocCache
 from repro.signatures.base import Signature
 from repro.signatures.factory import SignatureFactory
+from repro.signatures.ops import collides_fast
 
 
 class BDM:
@@ -77,15 +78,15 @@ class BDM:
 
         The predicate is ``(Wc ∩ R) ∪ (Wc ∩ W) ≠ ∅``; the W∩W term handles
         partial cache-line updates.  Only *active* chunks participate —
-        granted chunks are already serialized by the arbiter.
+        granted chunks are already serialized by the arbiter.  Uses the
+        allocation-free :func:`~repro.signatures.ops.collides_fast`
+        kernel — one packed AND per term, no intermediate signatures.
         """
         colliding: List[Chunk] = []
         for chunk in self._active_chunks:
             if not chunk.is_active:
                 continue
-            if not w_commit.intersect(chunk.r_sig).is_empty():
-                colliding.append(chunk)
-            elif not w_commit.intersect(chunk.w_sig).is_empty():
+            if collides_fast(w_commit, chunk.r_sig, chunk.w_sig):
                 colliding.append(chunk)
         return colliding
 

@@ -119,6 +119,10 @@ class CommitTransaction:
         self.on_granted = on_granted
         self.retries = 0
         self.r_signature_sent = False
+        # Signatures are frozen once the chunk is COMPLETE, so the wire
+        # size of W is computed once and reused across retries, directory
+        # fan-out, and per-victim delivery (it's a popcount over ~2 Kbit).
+        self._w_sig_bytes: Optional[int] = None
         self.used_g_arbiter = False
         # Resilience state --------------------------------------------------
         self.phase = TxnPhase.DECIDING
@@ -141,6 +145,12 @@ class CommitTransaction:
         self.pending_invalidations: Set[int] = set()
         self.watchdog: Optional[Event] = None
         self.timeouts = 0
+
+    def w_sig_bytes(self) -> int:
+        """Compressed wire size of the (frozen) W signature, memoized."""
+        if self._w_sig_bytes is None:
+            self._w_sig_bytes = compressed_size_bytes(self.chunk.w_sig)
+        return self._w_sig_bytes
 
 
 class CommitEngine:
@@ -210,7 +220,7 @@ class CommitEngine:
         # been shipped for this transaction the arbiter keeps it, so
         # denial retries do not re-transfer it.
         self.network.send(
-            proc_node, arb_node, TrafficClass.WR_SIG, compressed_size_bytes(chunk.w_sig)
+            proc_node, arb_node, TrafficClass.WR_SIG, txn.w_sig_bytes()
         )
         if include_r and not txn.r_signature_sent:
             self.network.send(
@@ -445,7 +455,7 @@ class CommitEngine:
                 arb_node,
                 Network.directory(dir_index),
                 TrafficClass.WR_SIG,
-                compressed_size_bytes(chunk.w_sig),
+                txn.w_sig_bytes(),
             )
             dirbdm = machine.dirbdms[dir_index]
             outcome = dirbdm.expand_commit(
@@ -462,7 +472,7 @@ class CommitEngine:
                     dir_node,
                     Network.proc(proc),
                     TrafficClass.WR_SIG,
-                    compressed_size_bytes(chunk.w_sig),
+                    txn.w_sig_bytes(),
                 )
         invalidation_procs.discard(chunk.proc)
         # Signature false-positive storm: the injector can force the
@@ -478,7 +488,7 @@ class CommitEngine:
                     storm_node,
                     Network.proc(proc),
                     TrafficClass.WR_SIG,
-                    compressed_size_bytes(chunk.w_sig),
+                    txn.w_sig_bytes(),
                 )
             invalidation_procs |= extra
         self.stats.distribution("commit.nodes_per_w_sig").sample(

@@ -47,10 +47,10 @@ class GlobalArbiter:
         if not self.cache_w or not self._cached:
             return False
         for cached_w in self._cached.values():
-            if not cached_w.intersect(w_sig).is_empty():
+            if not cached_w.disjoint(w_sig):
                 self.stats.bump("garbiter.fast_denies")
                 return True
-            if r_sig is not None and not cached_w.intersect(r_sig).is_empty():
+            if r_sig is not None and not cached_w.disjoint(r_sig):
                 self.stats.bump("garbiter.fast_denies")
                 return True
         return False

@@ -13,7 +13,7 @@ statistics, matching what the paper's characterization tables need:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 
 class Counter:
@@ -119,6 +119,10 @@ class StatsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._distributions: Dict[str, Distribution] = {}
         self._time_weighted: Dict[str, TimeWeightedStat] = {}
+        # Host-side observability (memo-cache hit rates, ...): values that
+        # depend on process history rather than the simulated execution,
+        # so they must never enter the deterministic snapshot().
+        self._volatile: Dict[str, float] = {}
 
     def counter(self, name: str) -> Counter:
         stat = self._counters.get(name)
@@ -146,12 +150,32 @@ class StatsRegistry:
         stat = self._counters.get(name)
         return stat.value if stat is not None else default
 
+    def bump_volatile(self, name: str, amount: float = 1.0) -> None:
+        """Count a *host-side* event (e.g. a process-global cache hit).
+
+        Volatile counters are reported by :meth:`volatile_snapshot` only —
+        :meth:`snapshot` excludes them, so run artifacts stay bit-identical
+        whether cells execute serially, interleaved, or in worker
+        processes that share (or don't share) process-global caches.
+        """
+        self._volatile[name] = self._volatile.get(name, 0.0) + amount
+
+    def volatile_snapshot(self) -> Dict[str, float]:
+        """The host-side counters, separate from the deterministic stats."""
+        return {name: self._volatile[name] for name in sorted(self._volatile)}
+
     def counters(self) -> Iterator[Tuple[str, float]]:
         for name in sorted(self._counters):
             yield name, self._counters[name].value
 
-    def snapshot(self) -> Dict[str, float]:
-        """Flatten every counter (and distribution means) into one dict."""
+    def snapshot(self, end_time: Optional[float] = None) -> Dict[str, float]:
+        """Flatten every counter (and distribution means) into one dict.
+
+        With ``end_time`` (the run's final cycle), time-weighted stats are
+        flattened too (``<name>.avg``, ``<name>.nonzero_frac``), so the
+        snapshot is self-contained — consumers need not hold the live
+        registry to read occupancies.  Volatile counters never appear.
+        """
         out: Dict[str, float] = {}
         for name, value in self.counters():
             out[name] = value
@@ -159,4 +183,9 @@ class StatsRegistry:
             dist = self._distributions[name]
             out[f"{name}.mean"] = dist.mean
             out[f"{name}.count"] = float(dist.count)
+        if end_time is not None:
+            for name in sorted(self._time_weighted):
+                tw = self._time_weighted[name]
+                out[f"{name}.avg"] = tw.average(end_time)
+                out[f"{name}.nonzero_frac"] = tw.fraction_nonzero(end_time)
         return out

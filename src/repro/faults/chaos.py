@@ -34,6 +34,7 @@ from repro.cpu.thread import ThreadProgram
 from repro.errors import ReproError
 from repro.faults.injector import FaultInjector, FaultRecord
 from repro.faults.plan import CrashPoint, FaultPlan, crash_script_from
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import ALL_APPS, build_app_workload
 from repro.memory.address import AddressMap, AddressSpace
 from repro.params import NAMED_CONFIGS
@@ -140,6 +141,7 @@ def run_chaos(
     instructions: int = 2000,
     quick: bool = False,
     crashes: Sequence[str] = (),
+    jobs: int = 1,
 ) -> ChaosReport:
     """Run a chaos campaign and return its report.
 
@@ -157,6 +159,12 @@ def run_chaos(
         quick: Trim the campaign for smoke tests (CI).
         crashes: Scripted arbiter crashes (``POINT:OCC[:TARGET]``
             spellings), applied to *every* run of the campaign.
+        jobs: Worker processes for the campaign's independent runs.
+            Each run has its own injector forked from the campaign seed,
+            so fan-out cannot change any run's schedule; the merged
+            report is truncated at the first error in campaign order,
+            making it bit-identical to a serial (stop-at-first-error)
+            campaign.
     """
     if workload not in ("litmus", "synthetic", "mix"):
         raise ValueError(f"unknown chaos workload {workload!r}")
@@ -175,13 +183,13 @@ def run_chaos(
     )
     if workload in ("litmus", "mix"):
         if not _litmus_campaign(
-            report, plan, seed, config_name, no_retry, quick, crash_script
+            report, plan, seed, config_name, no_retry, quick, crash_script, jobs
         ):
             return report
     if workload in ("synthetic", "mix"):
         _synthetic_campaign(
             report, plan, seed, config_name, no_retry, instructions, quick,
-            crash_script,
+            crash_script, jobs,
         )
     return report
 
@@ -194,18 +202,18 @@ def _config_for(config_name: str, seed: int, no_retry: bool):
 
 
 def _execute(
-    report: ChaosReport,
     record: ChaosRunRecord,
     config,
     programs,
     space,
     injector: FaultInjector,
-):
-    """Run one workload and append its record to the report.
+) -> Tuple[Optional["object"], List[FaultRecord]]:
+    """Run one workload, filling ``record`` in place.
 
-    Returns the :class:`~repro.system.RunResult` on completion, or
-    ``None`` when the run raised a typed :class:`ReproError` — which
-    stops the campaign so the failure trace stays front and center.
+    Returns ``(result, failure_trace)``: the
+    :class:`~repro.system.RunResult` on completion, or ``None`` plus the
+    injected-fault trace when the run raised a typed :class:`ReproError`
+    — which stops the campaign so the trace stays front and center.
     """
     try:
         result = run_workload(
@@ -220,9 +228,7 @@ def _execute(
         record.error = f"{type(exc).__name__}: {exc}"
         record.faults_injected = injector.total_injected
         record.fault_summary = injector.summary()
-        report.runs.append(record)
-        report.failure_trace = list(getattr(exc, "fault_trace", ()) or injector.trace)
-        return None
+        return None, list(getattr(exc, "fault_trace", ()) or injector.trace)
     record.cycles = result.cycles
     record.faults_injected = injector.total_injected
     record.fault_summary = injector.summary()
@@ -231,8 +237,44 @@ def _execute(
     check = check_sequential_consistency(result.history)
     record.sc_certified = check.ok
     record.sc_reason = check.reason
-    report.runs.append(record)
-    return result
+    return result, []
+
+
+def _merge_outcomes(
+    report: ChaosReport,
+    outcomes: Sequence[Tuple[ChaosRunRecord, List[FaultRecord]]],
+) -> bool:
+    """Append run records in campaign order, stopping at the first error.
+
+    This is what makes a fanned-out campaign report bit-identical to a
+    serial one: workers complete out of order, but records merge in the
+    canonical cell order and the report is truncated exactly where a
+    serial campaign would have stopped.
+    """
+    for record, trace in outcomes:
+        report.runs.append(record)
+        if record.error is not None:
+            report.failure_trace = trace
+            return False
+    return True
+
+
+def _campaign_outcomes(run_cell, cells, jobs: int):
+    """Run campaign cells, serially with early stop or fanned out.
+
+    Serial campaigns stop at the first error without running later
+    cells; parallel campaigns run everything and rely on
+    :func:`_merge_outcomes` to truncate identically.
+    """
+    if jobs == 1:
+        outcomes = []
+        for cell in cells:
+            outcome = run_cell(cell)
+            outcomes.append(outcome)
+            if outcome[0].error is not None:
+                break
+        return outcomes
+    return parallel_map(run_cell, cells, jobs=jobs)
 
 
 def _litmus_campaign(
@@ -243,47 +285,51 @@ def _litmus_campaign(
     no_retry: bool,
     quick: bool,
     crash_script: Optional[Dict] = None,
+    jobs: int = 1,
 ) -> bool:
     tests = all_litmus_tests()
     seeds = [seed] if quick else [seed, seed + 1]
     staggers = _QUICK_STAGGERS if quick else _STAGGERS
-    for test in tests:
-        for run_seed in seeds:
-            config = _config_for(config_name, run_seed, no_retry)
-            for gi, stagger in enumerate(staggers):
-                space = AddressSpace(
-                    AddressMap(config.memory.words_per_line, config.num_directories)
-                )
-                addrs = {
-                    var: space.allocate(
-                        var, config.memory.words_per_line
-                    ).start_word
-                    for var in test.variables
-                }
-                programs = [
-                    ThreadProgram(
-                        [Compute(stagger[i % len(stagger)])] + ops, name=f"t{i}"
-                    )
-                    for i, ops in enumerate(test.build(addrs))
-                ]
-                label = f"litmus/{test.name}/s{run_seed}/g{gi}"
-                injector = FaultInjector(plan, seed=seed, label=label)
-                if crash_script:
-                    injector.crash_script = dict(crash_script)
-                record = ChaosRunRecord(
-                    name=f"litmus:{test.name}/s{run_seed}/g{gi}",
-                    seed=run_seed,
-                    repro={
-                        "workload": litmus_spec(test.name, stagger),
-                        "injector_label": label,
-                        "config_seed": run_seed,
-                    },
-                )
-                result = _execute(report, record, config, programs, space, injector)
-                if result is None:
-                    return False
-                record.forbidden_outcome = bool(test.forbidden(result.registers))
-    return True
+    cells = [
+        (test, run_seed, gi, stagger)
+        for test in tests
+        for run_seed in seeds
+        for gi, stagger in enumerate(staggers)
+    ]
+
+    def run_cell(cell) -> Tuple[ChaosRunRecord, List[FaultRecord]]:
+        test, run_seed, gi, stagger = cell
+        config = _config_for(config_name, run_seed, no_retry)
+        space = AddressSpace(
+            AddressMap(config.memory.words_per_line, config.num_directories)
+        )
+        addrs = {
+            var: space.allocate(var, config.memory.words_per_line).start_word
+            for var in test.variables
+        }
+        programs = [
+            ThreadProgram([Compute(stagger[i % len(stagger)])] + ops, name=f"t{i}")
+            for i, ops in enumerate(test.build(addrs))
+        ]
+        label = f"litmus/{test.name}/s{run_seed}/g{gi}"
+        injector = FaultInjector(plan, seed=seed, label=label)
+        if crash_script:
+            injector.crash_script = dict(crash_script)
+        record = ChaosRunRecord(
+            name=f"litmus:{test.name}/s{run_seed}/g{gi}",
+            seed=run_seed,
+            repro={
+                "workload": litmus_spec(test.name, stagger),
+                "injector_label": label,
+                "config_seed": run_seed,
+            },
+        )
+        result, trace = _execute(record, config, programs, space, injector)
+        if result is not None:
+            record.forbidden_outcome = bool(test.forbidden(result.registers))
+        return record, trace
+
+    return _merge_outcomes(report, _campaign_outcomes(run_cell, cells, jobs))
 
 
 def _synthetic_campaign(
@@ -295,10 +341,12 @@ def _synthetic_campaign(
     instructions: int,
     quick: bool,
     crash_script: Optional[Dict] = None,
+    jobs: int = 1,
 ) -> bool:
     apps = ALL_APPS[:1] if quick else ALL_APPS[:3]
-    config = _config_for(config_name, seed, no_retry)
-    for app in apps:
+
+    def run_cell(app) -> Tuple[ChaosRunRecord, List[FaultRecord]]:
+        config = _config_for(config_name, seed, no_retry)
         workload = build_app_workload(app, config, instructions, seed)
         label = f"synthetic/{app}"
         injector = FaultInjector(plan, seed=seed, label=label)
@@ -313,14 +361,9 @@ def _synthetic_campaign(
                 "config_seed": seed,
             },
         )
-        result = _execute(
-            report,
-            record,
-            config,
-            workload.programs,
-            workload.address_space,
-            injector,
+        __, trace = _execute(
+            record, config, workload.programs, workload.address_space, injector
         )
-        if result is None:
-            return False
-    return True
+        return record, trace
+
+    return _merge_outcomes(report, _campaign_outcomes(run_cell, list(apps), jobs))

@@ -46,6 +46,10 @@ def figure9(
     BSCbase a few percent below BSCdypvt; BSCexact ≈ BSCdypvt; radix is
     the aliasing outlier.
     """
+    # Prefetch the whole grid in one sweep: with runner.jobs > 1 the
+    # uncached cells fan out across workers; the per-cell reads below then
+    # hit the cache, so the assembled artifact is order-independent.
+    runner.sweep(list(FIGURE9_CONFIGS), list(apps))
     series: Dict[str, Dict[str, float]] = {name: {} for name in FIGURE9_CONFIGS}
     for app in apps:
         rc = runner.result("RC", app)
@@ -66,6 +70,7 @@ def figure10(
     seed: int = 0,
     apps: Sequence[str] = ALL_APPS,
     chunk_sizes: Sequence[int] = (1000, 2000, 4000),
+    jobs: int = 1,
 ) -> Tuple[Dict[str, Dict[str, float]], str]:
     """BSCdypvt at chunk sizes 1000/2000/4000 plus 4000-exact.
 
@@ -76,15 +81,16 @@ def figure10(
         return lambda cfg: cfg.with_bulksc(chunk_size_instructions=size)
 
     series: Dict[str, Dict[str, float]] = {}
-    base_runner = SweepRunner(instructions, seed)
-    for app in apps:
-        base_runner.result("RC", app)
+    base_runner = SweepRunner(instructions, seed, jobs=jobs)
+    base_runner.sweep(["RC"], list(apps))
     for size in chunk_sizes:
         runner = SweepRunner(
             instructions,
             seed,
             config_overrides={"BSCdypvt": chunk_override(size)},
+            jobs=jobs,
         )
+        runner.sweep(["BSCdypvt"], list(apps))
         label = str(size)
         series[label] = {}
         for app in apps:
@@ -94,7 +100,9 @@ def figure10(
         instructions,
         seed,
         config_overrides={"BSCexact": chunk_override(max(chunk_sizes))},
+        jobs=jobs,
     )
+    exact_runner.sweep(["BSCexact"], list(apps))
     label = f"{max(chunk_sizes)}-exact"
     series[label] = {}
     for app in apps:
@@ -116,6 +124,7 @@ def table3(
     runner: SweepRunner, apps: Sequence[str] = ALL_APPS
 ) -> Tuple[Dict[str, Dict[str, float]], str]:
     """Table 3 rows for BSCdypvt, plus squashed% for BSCexact/BSCbase."""
+    runner.sweep(["BSCexact", "BSCdypvt", "BSCbase"], list(apps))
     rows: List[CharacterizationRow] = []
     squash_columns: Dict[str, Dict[str, float]] = {
         "BSCexact": {},
@@ -165,6 +174,7 @@ def table4(
     runner: SweepRunner, apps: Sequence[str] = ALL_APPS
 ) -> Tuple[Dict[str, Dict[str, float]], str]:
     """Table 4 rows for BSCdypvt."""
+    runner.sweep(["BSCdypvt"], list(apps))
     rows = [
         CommitRow.from_result(app, runner.result("BSCdypvt", app)) for app in apps
     ]
@@ -189,6 +199,7 @@ def figure11(
     instructions: int = 20_000,
     seed: int = 0,
     apps: Sequence[str] = ALL_APPS,
+    jobs: int = 1,
 ) -> Tuple[Dict[str, Dict[str, Dict[str, float]]], str]:
     """Traffic breakdown for R (RC), E (BSCexact), N (BSCdypvt without the
     RSig optimization), and B (BSCdypvt), normalized to RC's total bytes.
@@ -197,14 +208,17 @@ def figure11(
     from B (the RSig optimization), and N showing the RdSig traffic that
     optimization removes.
     """
-    runner = SweepRunner(instructions, seed)
+    runner = SweepRunner(instructions, seed, jobs=jobs)
     no_rsig_runner = SweepRunner(
         instructions,
         seed,
         config_overrides={
             "BSCdypvt": lambda cfg: cfg.with_bulksc(rsig_optimization=False)
         },
+        jobs=jobs,
     )
+    runner.sweep(["RC", "BSCexact", "BSCdypvt"], list(apps))
+    no_rsig_runner.sweep(["BSCdypvt"], list(apps))
     breakdowns: Dict[str, Dict[str, Dict[str, float]]] = {
         "R": {},
         "E": {},

@@ -1,0 +1,93 @@
+"""Deterministic fan-out of independent simulation cells across processes.
+
+Sweeps, chaos campaigns, and benchmarks all reduce to the same shape:
+run many *independent* (config, app, seed) cells and merge the results.
+:func:`parallel_map` fans the cells over a ``multiprocessing`` pool and
+returns results **in submission order**, so a parallel sweep merges into
+exactly the artifact a serial sweep produces — every cell is a full
+simulation with its own seed, and cells never share mutable state.
+
+Two constraints shape the implementation:
+
+* Cell functions are usually closures (over a runner, a config override,
+  a campaign plan) and closures cannot cross a pickle boundary.  The
+  pool therefore uses the ``fork`` start method and the callable is
+  stashed in a module global *before* the workers are forked — children
+  inherit it by memory snapshot, and only integer indices and the
+  (picklable) results cross the pipe.
+* Where ``fork`` is unavailable (non-POSIX platforms) or parallelism is
+  not requested, the same call degrades to a plain serial loop, keeping
+  ``--jobs 1`` and ``--jobs N`` bit-identical by construction.
+
+Results must be picklable: simulation cells should return slim payloads
+(e.g. a :class:`~repro.system.RunResult` with ``machine=None``) rather
+than live machines, whose event heaps hold lambdas.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+# Worker context, set in the parent immediately before forking the pool
+# and inherited by the children.  Only ever read by _call_indexed inside
+# a worker; reset in the parent once the pool is done.
+_WORKER_FN: Optional[Callable] = None
+_WORKER_ITEMS: Optional[Sequence] = None
+
+
+def fork_available() -> bool:
+    """Whether the fork start method (required for closures) exists."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``--jobs 0`` (= auto)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _call_indexed(index: int):
+    """Run one cell inside a worker (context inherited at fork)."""
+    assert _WORKER_FN is not None and _WORKER_ITEMS is not None
+    return _WORKER_FN(_WORKER_ITEMS[index])
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Returns results in item order regardless of completion order, so the
+    caller's merge is deterministic.  Falls back to a serial loop when
+    ``jobs <= 1``, there are fewer than two items, or fork is missing.
+
+    ``jobs=0`` means auto (one worker per CPU).
+    """
+    work = list(items)
+    if jobs == 0:
+        jobs = default_jobs()
+    if jobs <= 1 or len(work) <= 1 or not fork_available():
+        return [fn(item) for item in work]
+    global _WORKER_FN, _WORKER_ITEMS
+    if _WORKER_FN is not None:
+        # A nested parallel_map (e.g. a cell that itself sweeps) would
+        # clobber the parent's worker context; run it serially instead.
+        return [fn(item) for item in work]
+    _WORKER_FN, _WORKER_ITEMS = fn, work
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=min(jobs, len(work))) as pool:
+            return pool.map(_call_indexed, range(len(work)), chunksize)
+    finally:
+        _WORKER_FN = None
+        _WORKER_ITEMS = None

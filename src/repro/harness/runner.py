@@ -2,13 +2,17 @@
 
 One :class:`SweepRunner` caches every simulation it runs, so a benchmark
 that needs RC numbers for normalization shares them across figures
-instead of re-simulating.
+instead of re-simulating.  With ``jobs > 1`` a grid sweep fans its
+uncached cells over a worker pool (see :mod:`repro.harness.parallel`);
+results merge in grid order, so the artifact is identical to a serial
+sweep's.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.harness.parallel import parallel_map
 from repro.params import NAMED_CONFIGS, SystemConfig
 from repro.system import RunResult, run_workload
 from repro.workloads.commercial import COMMERCIAL_ORDER, commercial_workload
@@ -30,7 +34,12 @@ def build_app_workload(app: str, config: SystemConfig, instructions: int, seed: 
 
 
 class SweepRunner:
-    """Runs and caches simulations over a (config, app) grid."""
+    """Runs and caches simulations over a (config, app) grid.
+
+    ``jobs`` controls how many worker processes a :meth:`sweep` may use;
+    single-cell :meth:`result` calls always run in-process so their live
+    machine stays available to callers.
+    """
 
     def __init__(
         self,
@@ -38,12 +47,26 @@ class SweepRunner:
         seed: int = 0,
         record_history: bool = False,
         config_overrides: Optional[Dict[str, Callable[[SystemConfig], SystemConfig]]] = None,
+        jobs: int = 1,
     ):
         self.instructions_per_thread = instructions_per_thread
         self.seed = seed
         self.record_history = record_history
         self.config_overrides = config_overrides or {}
-        self._cache: Dict[Tuple[str, str], RunResult] = {}
+        self.jobs = jobs
+        self._cache: Dict[Tuple, RunResult] = {}
+
+    def _key(self, config_name: str, app: str) -> Tuple:
+        # The run parameters participate in the key so that mutating the
+        # runner between calls (seed, budget, history) can never serve a
+        # stale result recorded under the old parameters.
+        return (
+            config_name,
+            app,
+            self.instructions_per_thread,
+            self.seed,
+            self.record_history,
+        )
 
     def config_for(self, config_name: str) -> SystemConfig:
         try:
@@ -58,33 +81,54 @@ class SweepRunner:
             config = override(config).validate()
         return config
 
-    def result(self, config_name: str, app: str) -> RunResult:
-        """Run (or fetch) one simulation."""
-        key = (config_name, app)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+    def _run_cell(self, cell: Tuple[str, str]) -> RunResult:
+        config_name, app = cell
         config = self.config_for(config_name)
         workload = build_app_workload(
             app, config, self.instructions_per_thread, self.seed
         )
-        result = run_workload(
+        return run_workload(
             config,
             workload.programs,
             workload.address_space,
             record_history=self.record_history,
         )
+
+    def _run_cell_slim(self, cell: Tuple[str, str]) -> RunResult:
+        """Worker-side cell: drop the unpicklable machine before return."""
+        return self._run_cell(cell).slim()
+
+    def result(self, config_name: str, app: str) -> RunResult:
+        """Run (or fetch) one simulation."""
+        key = self._key(config_name, app)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._run_cell((config_name, app))
         self._cache[key] = result
         return result
 
     def sweep(
         self, config_names: List[str], apps: List[str]
     ) -> Dict[Tuple[str, str], RunResult]:
-        """Run the full grid; returns {(config, app): result}."""
+        """Run the full grid; returns {(config, app): result}.
+
+        With ``jobs > 1`` the uncached cells run across a process pool;
+        parallel results carry ``machine=None`` (they crossed a pickle
+        boundary) but are otherwise identical to serial ones, and the
+        returned mapping is keyed and ordered exactly as in a serial
+        sweep.
+        """
+        cells = [(name, app) for app in apps for name in config_names]
+        missing = [c for c in cells if self._key(*c) not in self._cache]
+        if missing and self.jobs != 1:
+            for cell, result in zip(
+                missing, parallel_map(self._run_cell_slim, missing, jobs=self.jobs)
+            ):
+                self._cache[self._key(*cell)] = result
         out: Dict[Tuple[str, str], RunResult] = {}
-        for app in apps:
-            for name in config_names:
-                out[(name, app)] = self.result(name, app)
+        for name, app in cells:
+            out[(name, app)] = self.result(name, app)
         return out
 
     def cached_count(self) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
+from repro.harness.parallel import parallel_map
 from repro.harness.runner import SweepRunner
 from repro.params import SystemConfig
 from repro.system import RunResult
@@ -77,6 +78,7 @@ def sweep_parameter(
     instructions: int = 8000,
     seed: int = 0,
     metric_name: str = "metric",
+    jobs: int = 1,
 ) -> SweepResult:
     """Run ``config_name`` over ``apps`` for each parameter value.
 
@@ -90,24 +92,26 @@ def sweep_parameter(
         instructions: Per-thread dynamic instruction budget.
         seed: Workload seed (shared across points so programs match).
         metric_name: Label for the metric column.
+        jobs: Worker processes for the (value, app) grid; cells are
+            independent simulations, so results are identical to a
+            serial sweep and merge in grid order.
     """
-    points: List[SweepPoint] = []
-    for value in values:
+
+    def run_cell(cell) -> SweepPoint:
+        value, app = cell
         runner = SweepRunner(
             instructions,
             seed,
-            config_overrides={
-                config_name: lambda cfg, v=value: apply(cfg, v)
-            },
+            config_overrides={config_name: lambda cfg: apply(cfg, value)},
         )
-        for app in apps:
-            result = runner.result(config_name, app)
-            points.append(
-                SweepPoint(
-                    parameter=value,
-                    app=app,
-                    metric=metric(result),
-                    cycles=result.cycles,
-                )
-            )
+        result = runner.result(config_name, app)
+        return SweepPoint(
+            parameter=value,
+            app=app,
+            metric=metric(result),
+            cycles=result.cycles,
+        )
+
+    cells = [(value, app) for value in values for app in apps]
+    points: List[SweepPoint] = parallel_map(run_cell, cells, jobs=jobs)
     return SweepResult(parameter_name, metric_name, points)

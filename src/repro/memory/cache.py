@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.params import CacheGeometry
 
@@ -66,8 +66,12 @@ class SetAssocCache:
         self.num_sets = geometry.num_sets
         self.associativity = geometry.associativity
         self._set_mask = self.num_sets - 1
-        # sets[i] maps line_addr -> CacheLine for lines resident in set i.
-        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        # _sets[i] maps line_addr -> CacheLine for lines resident in set i.
+        # Sets are materialized lazily on first insert: simulations touch a
+        # tiny fraction of the (up to 4096) sets, and eagerly allocating one
+        # dict per set dominated machine-construction time in the
+        # commit-heavy litmus benchmark.
+        self._sets: Dict[int, Dict[int, CacheLine]] = {}
         self._lru_clock = itertools.count()
         self.hits = 0
         self.misses = 0
@@ -79,7 +83,8 @@ class SetAssocCache:
     # -- lookup --------------------------------------------------------------
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line, updating LRU, or ``None`` on miss."""
-        line = self._sets[self.set_index(line_addr)].get(line_addr)
+        cache_set = self._sets.get(line_addr & self._set_mask)
+        line = cache_set.get(line_addr) if cache_set is not None else None
         if line is not None:
             if touch:
                 line.lru_stamp = next(self._lru_clock)
@@ -90,10 +95,12 @@ class SetAssocCache:
 
     def probe(self, line_addr: int) -> Optional[CacheLine]:
         """Lookup without LRU update or hit/miss accounting (snoops)."""
-        return self._sets[self.set_index(line_addr)].get(line_addr)
+        cache_set = self._sets.get(line_addr & self._set_mask)
+        return cache_set.get(line_addr) if cache_set is not None else None
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._sets[self.set_index(line_addr)]
+        cache_set = self._sets.get(line_addr & self._set_mask)
+        return cache_set is not None and line_addr in cache_set
 
     # -- insertion / eviction ---------------------------------------------------
     def insert(
@@ -114,7 +121,9 @@ class SetAssocCache:
             candidate victim is pinned (set about to overflow).
         """
         index = self.set_index(line_addr)
-        cache_set = self._sets[index]
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
         existing = cache_set.get(line_addr)
         if existing is not None:
             existing.state = state
@@ -146,14 +155,17 @@ class SetAssocCache:
         self, line_addr: int, pinned: Callable[[int], bool]
     ) -> bool:
         """True if inserting ``line_addr`` would find no evictable victim."""
-        cache_set = self._sets[self.set_index(line_addr)]
+        cache_set = self._sets.get(self.set_index(line_addr))
+        if cache_set is None:
+            return False
         if line_addr in cache_set or len(cache_set) < self.associativity:
             return False
         return all(pinned(line.line_addr) for line in cache_set.values())
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
         """Remove a line (coherence invalidation); returns it if present."""
-        return self._sets[self.set_index(line_addr)].pop(line_addr, None)
+        cache_set = self._sets.get(line_addr & self._set_mask)
+        return cache_set.pop(line_addr, None) if cache_set is not None else None
 
     def set_state(self, line_addr: int, state: LineState) -> None:
         line = self.probe(line_addr)
@@ -162,14 +174,16 @@ class SetAssocCache:
 
     # -- iteration ---------------------------------------------------------------
     def lines_in_set(self, set_index: int) -> Iterator[CacheLine]:
-        return iter(self._sets[set_index].values())
+        cache_set = self._sets.get(set_index)
+        return iter(cache_set.values()) if cache_set is not None else iter(())
 
     def all_lines(self) -> Iterator[CacheLine]:
-        for cache_set in self._sets:
-            yield from cache_set.values()
+        # Set-index order, so iteration is independent of touch order.
+        for set_index in sorted(self._sets):
+            yield from self._sets[set_index].values()
 
     def resident_count(self) -> int:
-        return sum(len(cache_set) for cache_set in self._sets)
+        return sum(len(cache_set) for cache_set in self._sets.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

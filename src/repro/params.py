@@ -149,6 +149,13 @@ class SignatureConfig:
     num_banks: int = 4  # "Organization: Like in [8]" - banked Bloom filter
     compressed_bits: int = 350  # transfer encoding size on the network
     exact: bool = False  # BSCexact: magic alias-free signature
+    #: Maintain the simulator-only ``_exact`` ground-truth mirror inside
+    #: Bloom signatures.  Off by default: the mirror is a Python set
+    #: shadowing every insert/intersect, needed only when verify/stats
+    #: code wants per-signature aliasing ground truth.  The aliasing
+    #: statistics of Tables 3/4 come from the chunks' true line sets and
+    #: do not require it.
+    track_exact: bool = False
 
     @property
     def bits_per_bank(self) -> int:

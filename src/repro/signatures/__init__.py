@@ -15,11 +15,14 @@ with functional wrappers in :mod:`repro.signatures.ops`.
 """
 
 from repro.signatures.base import Signature
-from repro.signatures.bloom import BloomSignature
+from repro.signatures.bloom import INDEX_CACHE, BloomSignature, IndexCache
 from repro.signatures.compression import compressed_size_bits, compressed_size_bytes
 from repro.signatures.exact import ExactSignature
 from repro.signatures.factory import SignatureFactory
 from repro.signatures.ops import (
+    collides,
+    collides_fast,
+    disjoint,
     expand_into_sets,
     intersect,
     intersects,
@@ -33,11 +36,16 @@ __all__ = [
     "BloomSignature",
     "ExactSignature",
     "SignatureFactory",
+    "IndexCache",
+    "INDEX_CACHE",
     "intersect",
     "intersects",
     "union",
     "is_empty",
     "member",
+    "disjoint",
+    "collides",
+    "collides_fast",
     "expand_into_sets",
     "compressed_size_bits",
     "compressed_size_bytes",

@@ -72,10 +72,22 @@ class Signature(ABC):
     def empty_like(self) -> "Signature":
         """A new empty signature with this signature's geometry."""
 
+    # -- fast predicates (allocation-free disambiguation) --------------------
+    def disjoint(self, other: "Signature") -> bool:
+        """True iff ``self ∩ other`` is provably empty.
+
+        Semantically identical to ``self.intersect(other).is_empty()``;
+        concrete signatures override it with a kernel that never
+        materializes the intermediate signature (the hardware's bulk
+        bitwise circuit, Figure 2b).  This is the hot-path predicate used
+        by the BDM, the arbiter, and the DirBDM admission checks.
+        """
+        return self.intersect(other).is_empty()
+
     # -- convenience ---------------------------------------------------------
     def intersects(self, other: "Signature") -> bool:
         """True iff ``self ∩ other`` might be non-empty."""
-        return not self.intersect(other).is_empty()
+        return not self.disjoint(other)
 
     # -- introspection (for stats; not available to 'hardware') -------------
     @abstractmethod

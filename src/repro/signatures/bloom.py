@@ -23,29 +23,124 @@ same circuit the BDM uses.
 Decode (δ) reconstructs candidate cache sets by projecting each bank's
 set bit positions onto the address bits that form the cache index and
 intersecting the per-bank constraints — without touching the cache.
+
+Representation
+--------------
+All banks live in **one packed Python int**: bank *i* occupies bits
+``[i * bits_per_bank, (i + 1) * bits_per_bank)``.  Because the banks are
+bit-aligned, intersection and union of two signatures are single ``&`` /
+``|`` operations on the packed words — the constant-time bulk circuits of
+Figure 2(b) — and each address contributes one precomputed *mask* (one
+bit per bank) so insert and membership are one OR / one AND-compare.
+:meth:`disjoint` is the allocation-free disambiguation kernel: it ANDs
+the packed words and early-exits on the first all-zero bank, never
+materializing an intermediate signature.
+
+The ``_exact`` ground-truth mirror (a Python set shadowing every insert,
+used only for aliasing statistics) is **opt-in**: signatures built by a
+:class:`~repro.signatures.factory.SignatureFactory` carry bits only
+unless the configuration asks for the mirror, so default simulations pay
+no per-insert set maintenance.  Directly constructed signatures keep the
+mirror on for unit tests and interactive use.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.signatures.base import Signature
 
 #: Address bits covered by the bit-interleave before folding wraps around.
 _FOLD_BITS = 36
 
-#: Memoized per-geometry index tuples: (num_banks, index_bits, line) -> tuple.
-#: Line addresses repeat constantly (pin checks, membership tests), so this
-#: is a large win for simulation speed; footprints bound its size.
-_INDEX_CACHE = {}
+
+class IndexCache:
+    """A capped LRU of per-geometry address hash results.
+
+    Line addresses repeat constantly (pin checks, membership tests, chunk
+    accumulation), so memoizing the bit-gather per ``(geometry, address)``
+    is a large simulation-speed win.  The cache is module-global — the
+    hash is pure — but **bounded**: long sweeps touch millions of
+    distinct (config, app, seed) addresses, and an unbounded dict grows
+    without limit across a process-long campaign.  Hit/miss/eviction
+    counters are exported into each run's stats registry by
+    :class:`repro.system.Machine`.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("index cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple[int, int, int], Tuple[int, Tuple[int, ...]]]" = (
+            OrderedDict()
+        )
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def resize(self, capacity: int) -> None:
+        """Change the bound; evicts LRU entries if shrinking."""
+        if capacity < 1:
+            raise ValueError("index cache capacity must be positive")
+        self.capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+
+#: Memoized per-geometry hash results:
+#: (num_banks, index_bits, line) -> (packed insert mask, per-bank indices).
+INDEX_CACHE = IndexCache()
 
 
 class BloomSignature(Signature):
     """A ``num_banks``-banked, bit-field-indexed Bloom filter."""
 
-    __slots__ = ("num_banks", "bits_per_bank", "_index_bits", "_banks", "_exact")
+    __slots__ = (
+        "num_banks",
+        "bits_per_bank",
+        "_index_bits",
+        "_bank_mask",
+        "_bits",
+        "_exact",
+    )
 
-    def __init__(self, size_bits: int = 2048, num_banks: int = 4):
+    def __init__(
+        self, size_bits: int = 2048, num_banks: int = 4, track_exact: bool = True
+    ):
         if size_bits % num_banks:
             raise ValueError("size_bits must divide evenly into banks")
         self.num_banks = num_banks
@@ -53,9 +148,11 @@ class BloomSignature(Signature):
         if self.bits_per_bank & (self.bits_per_bank - 1):
             raise ValueError("bits per bank must be a power of two")
         self._index_bits = self.bits_per_bank.bit_length() - 1
-        self._banks: List[int] = [0] * num_banks
-        # Simulator-only ground truth for aliasing statistics.
-        self._exact: Set[int] = set()
+        self._bank_mask = (1 << self.bits_per_bank) - 1
+        # All banks packed into one int (bank i at bit offset i*bits_per_bank).
+        self._bits = 0
+        # Simulator-only ground truth for aliasing statistics (opt-in).
+        self._exact: Optional[Set[int]] = set() if track_exact else None
 
     # -- hashing ---------------------------------------------------------
     def _fold(self, line_addr: int) -> int:
@@ -67,32 +164,47 @@ class BloomSignature(Signature):
             extra >>= _FOLD_BITS
         return folded
 
-    def _bank_indices(self, line_addr: int) -> tuple:
-        """Per-bank bit indices for ``line_addr`` (memoized)."""
+    def _hash(self, line_addr: int) -> Tuple[int, Tuple[int, ...]]:
+        """(packed one-bit-per-bank mask, per-bank indices) — memoized."""
         key = (self.num_banks, self._index_bits, line_addr)
-        cached = _INDEX_CACHE.get(key)
+        cached = INDEX_CACHE.get(key)
         if cached is not None:
             return cached
         addr = self._fold(line_addr)
         banks = self.num_banks
+        bpb = self.bits_per_bank
         indices = []
+        mask = 0
         for bank in range(banks):
             index = 0
             for j in range(self._index_bits):
                 index |= ((addr >> (bank + banks * j)) & 1) << j
             indices.append(index)
-        result = tuple(indices)
-        _INDEX_CACHE[key] = result
+            mask |= 1 << (bank * bpb + index)
+        result = (mask, tuple(indices))
+        INDEX_CACHE.put(key, result)
         return result
+
+    def _bank_indices(self, line_addr: int) -> Tuple[int, ...]:
+        """Per-bank bit indices for ``line_addr`` (memoized)."""
+        return self._hash(line_addr)[1]
 
     def _bank_index(self, bank: int, line_addr: int) -> int:
         """Gather address bits ``bank, bank+B, bank+2B, ...`` into an index."""
-        return self._bank_indices(line_addr)[bank]
+        return self._hash(line_addr)[1][bank]
 
     # -- geometry helpers ----------------------------------------------------
     @property
     def size_bits(self) -> int:
         return self.bits_per_bank * self.num_banks
+
+    @property
+    def tracks_exact(self) -> bool:
+        return self._exact is not None
+
+    def bank_bits(self, bank: int) -> int:
+        """The raw bit array of one bank."""
+        return (self._bits >> (bank * self.bits_per_bank)) & self._bank_mask
 
     def _check_compatible(self, other: Signature) -> "BloomSignature":
         if not isinstance(other, BloomSignature):
@@ -106,130 +218,160 @@ class BloomSignature(Signature):
 
     # -- mutation -------------------------------------------------------------
     def insert(self, line_addr: int) -> None:
-        indices = self._bank_indices(line_addr)
-        for bank in range(self.num_banks):
-            self._banks[bank] |= 1 << indices[bank]
-        self._exact.add(line_addr)
+        self._bits |= self._hash(line_addr)[0]
+        if self._exact is not None:
+            self._exact.add(line_addr)
 
     def clear(self) -> None:
-        for bank in range(self.num_banks):
-            self._banks[bank] = 0
-        self._exact.clear()
+        self._bits = 0
+        if self._exact is not None:
+            self._exact.clear()
 
     def union_update(self, other: Signature) -> None:
         o = self._check_compatible(other)
-        for bank in range(self.num_banks):
-            self._banks[bank] |= o._banks[bank]
-        self._exact |= o._exact
+        self._bits |= o._bits
+        if self._exact is not None:
+            if o._exact is not None:
+                self._exact |= o._exact
+            else:
+                # The mirror can no longer be ground truth; drop it rather
+                # than report a false subset.
+                self._exact = None
 
     # -- functional operations -------------------------------------------------
+    def _derived(self, bits: int, exact: Optional[Set[int]]) -> "BloomSignature":
+        out = BloomSignature(self.size_bits, self.num_banks, track_exact=False)
+        out._bits = bits
+        out._exact = exact
+        return out
+
     def intersect(self, other: Signature) -> "BloomSignature":
         o = self._check_compatible(other)
-        out = BloomSignature(self.size_bits, self.num_banks)
-        for bank in range(self.num_banks):
-            out._banks[bank] = self._banks[bank] & o._banks[bank]
-        out._exact = self._exact & o._exact
-        return out
+        exact = (
+            self._exact & o._exact
+            if self._exact is not None and o._exact is not None
+            else None
+        )
+        return self._derived(self._bits & o._bits, exact)
 
     def union(self, other: Signature) -> "BloomSignature":
         o = self._check_compatible(other)
-        out = BloomSignature(self.size_bits, self.num_banks)
-        for bank in range(self.num_banks):
-            out._banks[bank] = self._banks[bank] | o._banks[bank]
-        out._exact = self._exact | o._exact
-        return out
+        exact = (
+            self._exact | o._exact
+            if self._exact is not None and o._exact is not None
+            else None
+        )
+        return self._derived(self._bits | o._bits, exact)
 
     def is_empty(self) -> bool:
         # An address sets one bit in *every* bank, so an all-zero bank
         # proves the encoded set is empty.
-        return any(bank_bits == 0 for bank_bits in self._banks)
+        bits = self._bits
+        if not bits:
+            return True
+        bpb = self.bits_per_bank
+        mask = self._bank_mask
+        for __ in range(self.num_banks):
+            if not bits & mask:
+                return True
+            bits >>= bpb
+        return False
+
+    def disjoint(self, other: Signature) -> bool:
+        """Allocation-free ``(self ∩ other) = ∅`` (the BDM/arbiter kernel).
+
+        ANDs the packed banks and early-exits on the first all-zero bank
+        — the provably-empty case — without building an intermediate
+        signature or touching the exact mirrors.
+        """
+        o = self._check_compatible(other)
+        inter = self._bits & o._bits
+        if not inter:
+            return True
+        bpb = self.bits_per_bank
+        mask = self._bank_mask
+        for __ in range(self.num_banks):
+            if not inter & mask:
+                return True
+            inter >>= bpb
+        return False
 
     def member(self, line_addr: int) -> bool:
-        indices = self._bank_indices(line_addr)
-        for bank in range(self.num_banks):
-            if not (self._banks[bank] >> indices[bank]) & 1:
-                return False
-        return True
+        mask = self._hash(line_addr)[0]
+        return (self._bits & mask) == mask
 
     # -- decode (δ) --------------------------------------------------------------
     def decode_sets(self, num_sets: int) -> Set[int]:
         """Candidate cache sets, reconstructed from the bank bit-fields.
 
         The cache set index is the low ``log2(num_sets)`` line-address
-        bits.  Bank *i* constrains the address bits ``i, i+B, ...``; a set
-        index is a candidate iff, for every bank, some set bit in that
-        bank projects onto the same values for the index bits the bank
-        covers.
+        bits.  Bank *i* constrains the address bits ``i, i+B, ...``; each
+        set-index bit therefore belongs to exactly one bank, so the
+        candidates are the cartesian product of every bank's observed
+        projections, scattered back onto the set-index bits — no scan of
+        the ``num_sets`` space.
         """
         if self.is_empty():
             return set()
         set_bits = num_sets.bit_length() - 1
         if set_bits == 0:
             return {0}
-        # For each bank, the projections (onto its covered set-index bits)
-        # that are present among its set bit positions.
-        bank_projections: List[Set[int]] = []
-        bank_positions: List[List[int]] = []
-        for bank in range(self.num_banks):
+        banks = self.num_banks
+        candidates: List[int] = [0]
+        for bank in range(banks):
             # Set-index bit positions covered by this bank: address bit
             # b = bank + B*j with b < set_bits; within the bank's index,
             # that address bit is index bit j.
             positions = [
-                (b, (b - bank) // self.num_banks)
-                for b in range(bank, set_bits, self.num_banks)
+                (b, (b - bank) // banks) for b in range(bank, set_bits, banks)
             ]
-            bank_positions.append(positions)
             if not positions:
-                bank_projections.append(set())
                 continue
-            seen: Set[int] = set()
-            bits = self._banks[bank]
-            index = 0
+            # Scatter each observed bank index onto the set-index bits the
+            # bank covers; distinct indices can project onto the same value.
+            projections: Set[int] = set()
+            bits = self.bank_bits(bank)
             while bits:
-                if bits & 1:
-                    projection = 0
-                    for __, j in positions:
-                        projection = (projection << 1) | ((index >> j) & 1)
-                    seen.add(projection)
-                bits >>= 1
-                index += 1
-            bank_projections.append(seen)
-        candidates: Set[int] = set()
-        for set_index in range(num_sets):
-            ok = True
-            for bank in range(self.num_banks):
-                positions = bank_positions[bank]
-                if not positions:
-                    continue
-                projection = 0
-                for b, __ in positions:
-                    projection = (projection << 1) | ((set_index >> b) & 1)
-                if projection not in bank_projections[bank]:
-                    ok = False
-                    break
-            if ok:
-                candidates.add(set_index)
-        return candidates
+                low = bits & -bits
+                bits ^= low
+                index = low.bit_length() - 1
+                value = 0
+                for b, j in positions:
+                    value |= ((index >> j) & 1) << b
+                projections.add(value)
+            if not projections:
+                return set()
+            candidates = [
+                base | value for base in candidates for value in sorted(projections)
+            ]
+        return set(candidates)
 
     def copy(self) -> "BloomSignature":
-        out = BloomSignature(self.size_bits, self.num_banks)
-        out._banks = list(self._banks)
-        out._exact = set(self._exact)
-        return out
+        return self._derived(
+            self._bits, set(self._exact) if self._exact is not None else None
+        )
 
     def empty_like(self) -> "BloomSignature":
-        return BloomSignature(self.size_bits, self.num_banks)
+        return BloomSignature(
+            self.size_bits, self.num_banks, track_exact=self.tracks_exact
+        )
 
     # -- introspection -----------------------------------------------------------
     def exact_members(self) -> FrozenSet[int]:
+        if self._exact is None:
+            raise RuntimeError(
+                "exact mirror disabled (track_exact=False); ground truth is "
+                "only available in verify/stats modes"
+            )
         return frozenset(self._exact)
 
     def popcount(self) -> int:
         """Total number of set bits; a pollution measure."""
-        return sum(bin(bank_bits).count("1") for bank_bits in self._banks)
+        return bin(self._bits).count("1")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        true = len(self._exact) if self._exact is not None else "off"
         return (
             f"<BloomSignature banks={self.num_banks}x{self.bits_per_bank} "
-            f"pop={self.popcount()} true={len(self._exact)}>"
+            f"pop={self.popcount()} true={true}>"
         )

@@ -50,6 +50,10 @@ class ExactSignature(Signature):
     def is_empty(self) -> bool:
         return not self._members
 
+    def disjoint(self, other: Signature) -> bool:
+        """Allocation-free emptiness of the intersection (no new signature)."""
+        return self._members.isdisjoint(self._check_compatible(other)._members)
+
     def member(self, line_addr: int) -> bool:
         return line_addr in self._members
 

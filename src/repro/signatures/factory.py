@@ -23,7 +23,11 @@ class SignatureFactory:
         """A fresh empty signature."""
         if self.config.exact:
             return ExactSignature()
-        return BloomSignature(self.config.size_bits, self.config.num_banks)
+        return BloomSignature(
+            self.config.size_bits,
+            self.config.num_banks,
+            track_exact=self.config.track_exact,
+        )
 
     def from_addresses(self, line_addrs) -> Signature:
         """A signature pre-populated with ``line_addrs``.

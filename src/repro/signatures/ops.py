@@ -40,9 +40,36 @@ def intersects(a: Signature, b: Signature) -> bool:
     return a.intersects(b)
 
 
+def disjoint(a: Signature, b: Signature) -> bool:
+    """True iff ``a ∩ b`` is provably empty — without allocating ``a ∩ b``.
+
+    The fast-path form of ``is_empty(intersect(a, b))``: packed banks are
+    ANDed with early exit on the first all-zero bank (Bloom), or a set
+    ``isdisjoint`` (exact), so no intermediate signature or member set is
+    ever materialized.
+    """
+    return a.disjoint(b)
+
+
 def expand_into_sets(signature: Signature, num_sets: int) -> Set[int]:
     """Signature decoding (δ) into candidate cache-set indices."""
     return signature.decode_sets(num_sets)
+
+
+def collides_fast(
+    w_commit: Signature, r_local: Signature, w_local: Signature
+) -> bool:
+    """Allocation-free form of the Section 2.2 disambiguation predicate.
+
+    Evaluates ``(W_C ∩ R_L) ∪ (W_C ∩ W_L) ≠ ∅`` purely through the
+    :meth:`~repro.signatures.base.Signature.disjoint` kernels, so no
+    intermediate signature (or Python-set ``_exact`` intersection) is
+    built per check.  This is what the simulator's hot path — the BDM,
+    the arbiter decision loop, and the G-arbiter fast-deny — calls.
+    """
+    if not w_commit.disjoint(r_local):
+        return True
+    return not w_commit.disjoint(w_local)
 
 
 def collides(w_commit: Signature, r_local: Signature, w_local: Signature) -> bool:
@@ -54,7 +81,7 @@ def collides(w_commit: Signature, r_local: Signature, w_local: Signature) -> boo
 
     The W ∩ W term is required because a store updates only part of a cache
     line, so two writers of one line must not commit concurrently.
+    Delegates to :func:`collides_fast`, so callers outside the core
+    (analysis, verify) do not allocate intermediate signatures either.
     """
-    if not w_commit.intersect(r_local).is_empty():
-        return True
-    return not w_commit.intersect(w_local).is_empty()
+    return collides_fast(w_commit, r_local, w_local)

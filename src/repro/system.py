@@ -14,7 +14,7 @@ tests, and benchmark harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.coherence.dirbdm import DirBDM
@@ -37,6 +37,7 @@ from repro.engine.simulator import Simulator
 from repro.errors import ConfigError, DeadlockError
 from repro.faults.injector import FaultInjector
 from repro.interconnect.network import Network
+from repro.signatures.bloom import INDEX_CACHE
 from repro.interconnect.traffic import TrafficClass
 from repro.memory.address import AddressSpace
 from repro.memory.cache import LineState
@@ -72,6 +73,15 @@ class RunResult:
 
     def stat(self, name: str, default: float = 0.0) -> float:
         return self.stats.get(name, default)
+
+    def slim(self) -> "RunResult":
+        """A copy without the live machine, safe to pickle across processes.
+
+        The machine's event heap holds closures, so a full result cannot
+        cross a pool boundary; everything else — config, stats, history,
+        memory image, registers — is plain data and travels intact.
+        """
+        return replace(self, machine=None)
 
 
 class Machine:
@@ -141,6 +151,9 @@ class Machine:
         ]
         self._finished_count = 0
         self._result: Optional[RunResult] = None
+        # Baseline of the process-global signature index cache, so run()
+        # can record this machine's hit/miss/eviction deltas in its stats.
+        self._index_cache_base = INDEX_CACHE.counters()
         #: Non-speculative I/O operations, in global order:
         #: (time, proc, device, value).
         self.io_log: List[tuple] = []
@@ -444,13 +457,20 @@ class Machine:
             for driver in self.drivers
         ]
         cycles = max(finish_times) if finish_times else self.sim.now
+        # Signature index-cache activity since this machine was built.  The
+        # cache is process-global, so the deltas depend on what else ran in
+        # this process — volatile observability, never deterministic stats.
+        for key, value in INDEX_CACHE.counters().items():
+            delta = value - self._index_cache_base.get(key, 0)
+            if delta:
+                self.stats.bump_volatile(f"signature.index_cache.{key}", delta)
         self._result = RunResult(
             config=self.config,
             cycles=cycles,
             per_proc_finish=finish_times,
             total_instructions=sum(t.retired_instructions for t in self.threads),
             registers={t.proc: dict(t.registers) for t in self.threads},
-            stats=self.stats.snapshot(),
+            stats=self.stats.snapshot(end_time=cycles),
             traffic_bytes=self.coherence.network.meter.breakdown(),
             history=self.history,
             memory=self.memory,

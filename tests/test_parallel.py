@@ -1,0 +1,145 @@
+"""Parallel fan-out: determinism, memo-key hygiene, and fallbacks.
+
+The contract of ``--jobs N`` everywhere in the harness is *bit-identity*
+with a serial run: fan-out may only change wall-clock, never a result,
+a report, or an ordering.  These tests pin that, plus the SweepRunner
+memoization-key regression (a cached result must never be served after
+the runner's parameters changed).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.parallel import default_jobs, fork_available, parallel_map
+from repro.harness.runner import SweepRunner
+from repro.harness.sweeps import sweep_parameter
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+class TestParallelMap:
+    def test_serial_matches_plain_loop(self):
+        assert parallel_map(lambda x: x * x, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    @needs_fork
+    def test_parallel_preserves_item_order(self):
+        items = list(range(20))
+        assert parallel_map(lambda x: x * 2, items, jobs=4) == [
+            x * 2 for x in items
+        ]
+
+    @needs_fork
+    def test_closures_cross_the_pool(self):
+        offset = 100  # captured by the closure, inherited at fork
+        assert parallel_map(lambda x: x + offset, [1, 2, 3], jobs=2) == [
+            101, 102, 103
+        ]
+
+    def test_empty_and_single_item(self):
+        assert parallel_map(lambda x: x, [], jobs=4) == []
+        assert parallel_map(lambda x: -x, [5], jobs=4) == [-5]
+
+    def test_jobs_zero_means_auto(self):
+        assert default_jobs() >= 1
+        assert parallel_map(lambda x: x + 1, [1, 2], jobs=0) == [2, 3]
+
+
+class TestSweepRunnerMemoKey:
+    """Regression: the cache key must cover every run parameter."""
+
+    def test_mutated_seed_does_not_serve_stale_result(self):
+        runner = SweepRunner(1000, seed=0)
+        first = runner.result("BSCdypvt", "barnes")
+        runner.seed = 1
+        second = runner.result("BSCdypvt", "barnes")
+        assert first is not second
+        assert first.config.seed == 0
+        assert second.config.seed == 1
+
+    def test_mutated_instructions_does_not_serve_stale_result(self):
+        runner = SweepRunner(1000, seed=0)
+        first = runner.result("BSCdypvt", "barnes")
+        runner.instructions_per_thread = 2000
+        second = runner.result("BSCdypvt", "barnes")
+        assert first is not second
+        assert runner.cached_count() == 2
+        # Both parameterizations stay cached under their own keys.
+        runner.instructions_per_thread = 1000
+        assert runner.result("BSCdypvt", "barnes") is first
+
+    def test_mutated_record_history_does_not_serve_stale_result(self):
+        runner = SweepRunner(1000, seed=0, record_history=False)
+        first = runner.result("BSCdypvt", "barnes")
+        runner.record_history = True
+        second = runner.result("BSCdypvt", "barnes")
+        assert first is not second
+        assert not first.history.enabled
+        assert second.history.enabled
+
+    def test_same_parameters_still_memoized(self):
+        runner = SweepRunner(1000, seed=0)
+        assert runner.result("BSCdypvt", "barnes") is runner.result(
+            "BSCdypvt", "barnes"
+        )
+
+
+@needs_fork
+class TestParallelBitIdentity:
+    def test_sweep_matches_serial(self):
+        serial = SweepRunner(1500, seed=3, jobs=1).sweep(
+            ["BSCdypvt", "RC"], ["barnes"]
+        )
+        fanned = SweepRunner(1500, seed=3, jobs=4).sweep(
+            ["BSCdypvt", "RC"], ["barnes"]
+        )
+        assert list(serial) == list(fanned)
+        for key in serial:
+            assert serial[key].cycles == fanned[key].cycles
+            assert serial[key].stats == fanned[key].stats
+            assert serial[key].registers == fanned[key].registers
+            assert serial[key].traffic_bytes == fanned[key].traffic_bytes
+            # Parallel results crossed a pickle boundary: machine dropped.
+            assert fanned[key].machine is None
+
+    def test_sweep_parameter_matches_serial(self):
+        def run(jobs):
+            return sweep_parameter(
+                "chunk",
+                [500, 1000],
+                lambda cfg, v: cfg.with_bulksc(chunk_size_instructions=v),
+                lambda r: r.cycles,
+                ["barnes"],
+                instructions=1200,
+                jobs=jobs,
+            )
+
+        assert run(1).points == run(3).points
+
+    def test_chaos_matches_serial(self):
+        from repro.faults.chaos import run_chaos
+
+        serial = run_chaos(seed=7, faults="drop,delay,dup", quick=True, jobs=1)
+        fanned = run_chaos(seed=7, faults="drop,delay,dup", quick=True, jobs=4)
+        assert len(serial.runs) == len(fanned.runs)
+        for a, b in zip(serial.runs, fanned.runs):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_chaos_error_truncation_matches_serial(self):
+        """Fan-out must stop the report at the first error, like serial."""
+        from repro.faults.chaos import run_chaos
+
+        serial = run_chaos(
+            seed=7, faults="kill-acks", no_retry=True, quick=True, jobs=1
+        )
+        fanned = run_chaos(
+            seed=7, faults="kill-acks", no_retry=True, quick=True, jobs=4
+        )
+        assert serial.first_error is not None
+        assert len(serial.runs) == len(fanned.runs)
+        assert serial.first_error == fanned.first_error
+        assert [f.__dict__ for f in serial.failure_trace] == [
+            f.__dict__ for f in fanned.failure_trace
+        ]

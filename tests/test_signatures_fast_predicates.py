@@ -1,0 +1,117 @@
+"""The fast predicates agree exactly with the allocating ground truth.
+
+``disjoint`` and ``collides_fast`` are the hot-path kernels the arbiter,
+BDM, and G-arbiter run per committing W; the contract is bit-for-bit
+agreement with the reference formulation ``intersect(...).is_empty()``
+on *both* signature implementations, across randomized geometries and
+address sets.  Not a superset property — exact equality: the fast path
+must produce the same aliasing (false collisions included) as the
+allocating path, or fast and exact runs would diverge.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signatures.bloom import BloomSignature
+from repro.signatures.exact import ExactSignature
+from repro.signatures.ops import collides, collides_fast, disjoint
+
+line_addrs = st.integers(min_value=0, max_value=(1 << 34) - 1)
+addr_sets = st.sets(line_addrs, min_size=0, max_size=60)
+#: (size_bits, num_banks) geometries: the paper's 2 Kbit/4 banks plus
+#: smaller/denser shapes where aliasing is rampant.
+geometries = st.sampled_from(
+    [(2048, 4), (2048, 8), (1024, 4), (512, 2), (256, 4), (64, 1), (4096, 8)]
+)
+
+
+def bloom_pair(geometry, a, b, track_exact=True):
+    size_bits, num_banks = geometry
+    sa = BloomSignature(size_bits, num_banks, track_exact=track_exact)
+    sb = BloomSignature(size_bits, num_banks, track_exact=track_exact)
+    sa.insert_all(a)
+    sb.insert_all(b)
+    return sa, sb
+
+
+def exact_pair(a, b):
+    sa, sb = ExactSignature(), ExactSignature()
+    sa.insert_all(a)
+    sb.insert_all(b)
+    return sa, sb
+
+
+@settings(max_examples=150, deadline=None)
+@given(geometries, addr_sets, addr_sets)
+def test_bloom_disjoint_matches_intersect_emptiness(geometry, a, b):
+    sa, sb = bloom_pair(geometry, a, b)
+    assert sa.disjoint(sb) == sa.intersect(sb).is_empty()
+    assert sb.disjoint(sa) == sa.disjoint(sb)
+
+
+@settings(max_examples=150, deadline=None)
+@given(geometries, addr_sets, addr_sets)
+def test_bloom_disjoint_without_exact_mirror(geometry, a, b):
+    """The bits-only representation (simulation default) agrees too."""
+    sa, sb = bloom_pair(geometry, a, b, track_exact=False)
+    ra, rb = bloom_pair(geometry, a, b, track_exact=True)
+    assert sa.disjoint(sb) == ra.disjoint(rb)
+    assert sa.disjoint(sb) == sa.intersect(sb).is_empty()
+
+
+@settings(max_examples=150, deadline=None)
+@given(addr_sets, addr_sets)
+def test_exact_disjoint_matches_intersect_emptiness(a, b):
+    sa, sb = exact_pair(a, b)
+    assert sa.disjoint(sb) == sa.intersect(sb).is_empty()
+    assert sa.disjoint(sb) == (len(a & b) == 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(geometries, addr_sets, addr_sets, addr_sets)
+def test_bloom_collides_fast_matches_reference(geometry, wc, rl, wl):
+    size_bits, num_banks = geometry
+    sigs = []
+    for addrs in (wc, rl, wl):
+        sig = BloomSignature(size_bits, num_banks)
+        sig.insert_all(addrs)
+        sigs.append(sig)
+    w_commit, r_local, w_local = sigs
+    reference = not (
+        w_commit.intersect(r_local).is_empty()
+        and w_commit.intersect(w_local).is_empty()
+    )
+    assert collides_fast(w_commit, r_local, w_local) == reference
+    assert collides(w_commit, r_local, w_local) == reference
+
+
+@settings(max_examples=150, deadline=None)
+@given(addr_sets, addr_sets, addr_sets)
+def test_exact_collides_fast_matches_reference(wc, rl, wl):
+    sigs = []
+    for addrs in (wc, rl, wl):
+        sig = ExactSignature()
+        sig.insert_all(addrs)
+        sigs.append(sig)
+    w_commit, r_local, w_local = sigs
+    reference = bool((wc & rl) or (wc & wl))
+    assert collides_fast(w_commit, r_local, w_local) == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometries, addr_sets, addr_sets)
+def test_disjoint_wrapper_matches_method(geometry, a, b):
+    sa, sb = bloom_pair(geometry, a, b)
+    assert disjoint(sa, sb) == sa.disjoint(sb)
+
+
+def test_disjoint_rejects_mismatched_geometries():
+    sa = BloomSignature(2048, 4)
+    sb = BloomSignature(1024, 4)
+    with pytest.raises(TypeError):
+        sa.disjoint(sb)
+
+
+def test_disjoint_rejects_mixed_kinds():
+    with pytest.raises(TypeError):
+        BloomSignature().disjoint(ExactSignature())
