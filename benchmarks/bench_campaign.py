@@ -1,0 +1,99 @@
+"""Campaign machinery overhead: durability must stay cheap.
+
+The campaign runner wraps every cell in claim/result/checkpoint records
+with per-batch fsyncs, key hashing, and queue bookkeeping.  This bench
+runs the same litmus cell grid twice — raw ``execute_cell`` calls in a
+loop vs. a full ``run_campaign`` over a real on-disk store — and bounds
+the *ratio*: the durable campaign must cost less than 1.8× the raw
+serial pass (fsyncs amortize over ``shard_size`` cells), and a resume
+of the finished store (pure log replay + aggregation, no simulation)
+must cost under 15% of the raw pass.
+
+Prints cells/sec for the store-backed run; no absolute wall-time
+assertions (machine-independent ratios only).
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.campaign.queue import cells_by_key, expand_cells
+from repro.campaign.runner import RunnerOptions, execute_cell, run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+REPEATS = 3
+SHARD = 32
+
+
+def _spec(seed: int) -> CampaignSpec:
+    return CampaignSpec.build(
+        name="bench",
+        configs=["BSCdypvt"],
+        workload_args=["litmus"],
+        seeds=f"{seed}:{seed + 8}",
+    )
+
+
+def _raw_pass(spec: CampaignSpec) -> int:
+    cells = expand_cells(spec)
+    unique = cells_by_key(cells)
+    queue = [c for c in cells if unique[c.key] is c]
+    for cell in queue:
+        execute_cell(cell)
+    return len(queue)
+
+
+def _campaign_pass(spec: CampaignSpec, workdir: str) -> dict:
+    store = CampaignStore.create(workdir, spec)
+    return run_campaign(
+        store, RunnerOptions(jobs=1, shard_size=SHARD, minimize=False)
+    )
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def test_campaign_overhead(benchmark, bench_seed):
+    spec = _spec(bench_seed)
+    raw_s = min(_timed(_raw_pass, spec)[0] for __ in range(REPEATS))
+
+    campaign_s = float("inf")
+    resume_s = float("inf")
+    for attempt in range(REPEATS):
+        workdir = tempfile.mkdtemp(prefix="bench-campaign-")
+        try:
+            elapsed, payload = _timed(
+                _campaign_pass, spec, f"{workdir}/store"
+            )
+            campaign_s = min(campaign_s, elapsed)
+            assert payload["all_certified"], payload
+            # Resume of a complete store: log replay + aggregate only.
+            store = CampaignStore.open(f"{workdir}/store")
+            elapsed, __ = _timed(
+                run_campaign, store, RunnerOptions(jobs=1, minimize=False)
+            )
+            resume_s = min(resume_s, elapsed)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    cells = spec.cell_count
+    overhead = campaign_s / raw_s
+    print(
+        f"\ncampaign bench: {cells} cells  "
+        f"raw {cells / raw_s:.0f} cells/s  "
+        f"durable {cells / campaign_s:.0f} cells/s  "
+        f"overhead {overhead:.2f}x  "
+        f"no-op resume {resume_s * 1000:.0f} ms"
+    )
+    assert overhead < 1.8, (
+        f"campaign durability overhead {overhead:.2f}x exceeds the 1.8x "
+        f"budget (raw {raw_s:.2f}s vs campaign {campaign_s:.2f}s)"
+    )
+    assert resume_s < 0.15 * raw_s, (
+        f"no-op resume took {resume_s:.2f}s — more than 15% of the raw "
+        f"pass ({raw_s:.2f}s); log replay or aggregation regressed"
+    )

@@ -12,6 +12,8 @@ Commands:
   enumeration, and the determinism lint (no simulation).
 * ``replay`` — deterministic record/replay of runs, schedule
   exploration, and failure minimization.
+* ``campaign`` — durable, checkpointed, resumable certification
+  campaigns over an append-only store (``run|status|resume|report``).
 * ``experiments`` — regenerate one of the paper's tables/figures.
 * ``profile`` — run the simulator core under cProfile and print the
   hottest functions.
@@ -172,6 +174,61 @@ def _chaos_exit_code(report) -> int:
     return 0
 
 
+def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
+    """``chaos --campaign DIR``: run the chaos grid durably.
+
+    Creates (or resumes — same spec required) a campaign store at DIR
+    and executes the chaos cell grid checkpointed and resumable.  The
+    exit code follows the campaign report contract, which matches the
+    chaos contract for the shared codes (1/3/4/5).
+    """
+    from repro.campaign.report import spec_digest
+    from repro.campaign.runner import RunnerOptions, run_campaign
+    from repro.campaign.report import render_report, report_exit_code
+    from repro.campaign.store import CampaignStore
+    from repro.errors import CampaignError
+    from repro.faults.chaos import chaos_campaign_spec
+
+    try:
+        spec = chaos_campaign_spec(
+            seed=args.seed,
+            faults=args.faults,
+            workload=args.workload,
+            config_name=args.config,
+            rate=args.rate,
+            no_retry=args.no_retry,
+            instructions=args.instructions,
+            quick=args.quick,
+            crashes=args.crash or (),
+        )
+        import os
+
+        if os.path.exists(os.path.join(args.campaign, "campaign.json")):
+            store = CampaignStore.open(args.campaign)
+            if spec_digest(store.spec) != spec_digest(spec):
+                print(
+                    f"chaos: campaign store {args.campaign!r} holds a "
+                    "different spec; pick a fresh --campaign directory",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            store = CampaignStore.create(args.campaign, spec)
+        payload = run_campaign(
+            store,
+            RunnerOptions(jobs=args.jobs),
+            progress=lambda m: print(m, file=sys.stderr, flush=True),
+        )
+    except (CampaignError, ValueError) as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_report(payload))
+    return report_exit_code(payload)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.faults.chaos import run_chaos
@@ -180,6 +237,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.config not in NAMED_CONFIGS:
         print(f"unknown configuration {args.config!r}; try `list`", file=sys.stderr)
         return 2
+    if args.campaign:
+        return _cmd_chaos_campaign(args)
     try:
         report = run_chaos(
             seed=args.seed,
@@ -345,7 +404,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-trace",
         default=None,
         metavar="PATH",
-        help="re-record the first failing run as a replayable trace file",
+        help="re-record the first failing run as a replayable trace; "
+        "a PATH ending in .jsonl is a stand-alone file, anything else "
+        "is treated as a campaign store directory (trace lands under "
+        "PATH/traces/ and is logged in PATH/log.jsonl)",
+    )
+    p_chaos.add_argument(
+        "--campaign",
+        default=None,
+        metavar="DIR",
+        help="run the chaos grid as a durable campaign stored at DIR "
+        "(checkpointed, kill -9-safe, resumable via `campaign resume`)",
     )
     _add_jobs(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
@@ -357,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.replay.cli import add_replay_parser
 
     add_replay_parser(sub)
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(sub)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
     p_exp.add_argument(

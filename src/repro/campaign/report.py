@@ -1,0 +1,276 @@
+"""Campaign aggregates, progress/status, and rendering.
+
+:func:`aggregate_report` is the determinism-critical piece: it folds
+per-cell outcome payloads in canonical cell order, using only
+deterministic fields (never wall-clock bookkeeping), so a campaign that
+was killed and resumed aggregates to the byte-identical report of an
+uninterrupted run.  Everything wall-clock — throughput, ETA — lives in
+:func:`status_payload`, which is advisory and recomputed on demand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.campaign.queue import CampaignCell
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore, StoreState
+
+#: Statuses that mean the simulator (not the harness) failed the cell.
+FAILURE_STATUSES = ("sc-violation", "forbidden", "error")
+#: Statuses that mean the harness lost the cell (infra, not simulator).
+INFRA_STATUSES = ("timeout", "worker-crash")
+
+
+def spec_digest(spec: CampaignSpec) -> str:
+    canonical = json.dumps(spec.to_obj(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def aggregate_report(
+    spec: CampaignSpec,
+    cells: List[CampaignCell],
+    outcomes: Dict[str, dict],
+) -> dict:
+    """Fold outcomes into the campaign's deterministic aggregate report.
+
+    ``cells`` must be the deduplicated queue in canonical order;
+    ``outcomes`` maps cell key → outcome payload.  Cells without an
+    outcome count as ``missing`` (the campaign was interrupted and not
+    yet resumed to completion).
+    """
+    counts = {
+        "ok": 0,
+        "sc-violation": 0,
+        "forbidden": 0,
+        "error": 0,
+        "timeout": 0,
+        "worker-crash": 0,
+    }
+    errors_by_type: Dict[str, int] = {}
+    by_config: Dict[str, Dict[str, int]] = {}
+    by_workload: Dict[str, Dict[str, int]] = {}
+    by_fault: Dict[str, Dict[str, int]] = {}
+    totals = {"faults_injected": 0, "crashes": 0, "cycles": 0.0}
+    first_failure: Optional[dict] = None
+    missing = 0
+    for cell in cells:
+        outcome = outcomes.get(cell.key)
+        if outcome is None:
+            missing += 1
+            continue
+        status = outcome["status"]
+        counts[status] = counts.get(status, 0) + 1
+        totals["faults_injected"] += int(outcome.get("faults_injected", 0))
+        totals["crashes"] += int(outcome.get("crashes", 0))
+        totals["cycles"] += float(outcome.get("cycles", 0.0))
+        if outcome.get("error"):
+            type_name = str(outcome["error"]).split(":", 1)[0]
+            errors_by_type[type_name] = errors_by_type.get(type_name, 0) + 1
+        for table, label in (
+            (by_config, cell.config),
+            (by_workload, cell.workload.get("test") or cell.workload.get("app")),
+            (by_fault, cell.fault.describe()),
+        ):
+            bucket = table.setdefault(str(label), {"cells": 0, "certified": 0})
+            bucket["cells"] += 1
+            bucket["certified"] += status == "ok"
+        if first_failure is None and status != "ok":
+            first_failure = {
+                "key": cell.key,
+                "name": cell.name,
+                "status": status,
+                "error": outcome.get("error"),
+                "sc_reason": outcome.get("sc_reason", ""),
+            }
+    completed = len(cells) - missing
+    return {
+        "campaign": spec.name,
+        "spec_digest": spec_digest(spec),
+        "cells": len(cells),
+        "completed": completed,
+        "missing": missing,
+        "certified": counts["ok"],
+        "all_certified": completed == len(cells) and counts["ok"] == len(cells),
+        "counts": counts,
+        "errors_by_type": dict(sorted(errors_by_type.items())),
+        "totals": {
+            "faults_injected": totals["faults_injected"],
+            "crashes": totals["crashes"],
+            "cycles": round(totals["cycles"], 6),
+        },
+        "by_config": {k: by_config[k] for k in sorted(by_config)},
+        "by_workload": {k: by_workload[k] for k in sorted(by_workload)},
+        "by_fault": {k: by_fault[k] for k in sorted(by_fault)},
+        "first_failure": first_failure,
+    }
+
+
+def report_exit_code(payload: dict) -> int:
+    """The chaos-compatible exit-code contract over an aggregate report.
+
+    0 = every cell certified; 1 = SC violation or forbidden outcome;
+    3 = typed diagnosable failure (or infra-failed cells); 4 = livelock;
+    5 = crash-unrecovered; 6 = campaign incomplete (missing cells).
+    """
+    if payload["missing"]:
+        return 6
+    counts = payload["counts"]
+    if counts["sc-violation"] or counts["forbidden"]:
+        return 1
+    errors = payload.get("errors_by_type", {})
+    if errors.get("LivelockError"):
+        return 4
+    if errors.get("RecoveryError"):
+        return 5
+    if counts["error"] or counts["timeout"] or counts["worker-crash"]:
+        return 3
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Status (progress, failure counts, retries/timeouts, ETA)
+# ----------------------------------------------------------------------
+
+def status_payload(
+    store: CampaignStore,
+    cells: List[CampaignCell],
+    state: Optional[StoreState] = None,
+) -> dict:
+    """Progress accounting for ``campaign status`` (wall-clock allowed)."""
+    state = state if state is not None else store.load()
+    done = sum(1 for c in cells if c.key in state.results)
+    in_flight = len(
+        state.in_flight_keys & {c.key for c in cells}
+    )
+    counts: Dict[str, int] = {}
+    for cell in cells:
+        record = state.results.get(cell.key)
+        if record is not None:
+            status = record["outcome"]["status"]
+            counts[status] = counts.get(status, 0) + 1
+    retries = sum(
+        int(r["outcome"].get("attempts", 1)) - 1
+        for r in state.results.values()
+        if r["outcome"].get("attempts")
+    )
+    started = state.sessions[0]["ts"] if state.sessions else None
+    eta = rate = None
+    if started and done and done < len(cells):
+        elapsed = max(1e-6, time.time() - started)  # detlint: ok[DET003] — ETA display only, never aggregated
+        rate = done / elapsed
+        eta = (len(cells) - done) / rate
+    return {
+        "campaign": store.spec.name,
+        "cells": len(cells),
+        "done": done,
+        "in_flight": in_flight,
+        "remaining": len(cells) - done,
+        "counts": counts,
+        "failures": sum(counts.get(s, 0) for s in FAILURE_STATUSES),
+        "infra_failures": sum(counts.get(s, 0) for s in INFRA_STATUSES),
+        "retries": retries,
+        "checkpoints": len(state.checkpoints),
+        "sessions": len(state.sessions),
+        "degraded_shards": len(state.degrades),
+        "traces": len(state.traces),
+        "torn_tail": state.torn_tail,
+        "cells_per_sec": round(rate, 3) if rate else None,
+        "eta_seconds": round(eta, 1) if eta else None,
+        "complete": done == len(cells),
+    }
+
+
+def render_status(payload: dict) -> str:
+    lines = [
+        f"campaign {payload['campaign']!r}: "
+        f"{payload['done']}/{payload['cells']} cells done "
+        f"({payload['remaining']} remaining, "
+        f"{payload['in_flight']} in flight)",
+        f"checkpoints: {payload['checkpoints']}   "
+        f"sessions: {payload['sessions']}   "
+        f"degraded shards: {payload['degraded_shards']}   "
+        f"saved traces: {payload['traces']}",
+    ]
+    if payload["counts"]:
+        counts = "  ".join(
+            f"{status}={n}" for status, n in sorted(payload["counts"].items())
+        )
+        lines.append(f"outcomes: {counts}")
+    if payload["retries"]:
+        lines.append(f"worker retries: {payload['retries']}")
+    if payload["torn_tail"]:
+        lines.append(
+            "note: torn tail line in log (killed mid-append); "
+            "the affected cell will re-run on resume"
+        )
+    if payload["eta_seconds"] is not None:
+        lines.append(
+            f"throughput: {payload['cells_per_sec']} cells/s   "
+            f"ETA: {payload['eta_seconds']:.0f}s"
+        )
+    lines.append(
+        "status: complete" if payload["complete"] else "status: in progress"
+    )
+    return "\n".join(lines)
+
+
+def render_report(payload: dict) -> str:
+    counts = payload["counts"]
+    lines = [
+        f"campaign {payload['campaign']!r} "
+        f"(spec {payload['spec_digest']}): "
+        f"{payload['completed']}/{payload['cells']} cells completed",
+        f"certified: {payload['certified']}   "
+        f"sc-violations: {counts['sc-violation']}   "
+        f"forbidden: {counts['forbidden']}   "
+        f"errors: {counts['error']}   "
+        f"timeouts: {counts['timeout']}   "
+        f"worker-crashes: {counts['worker-crash']}",
+        f"faults injected: {payload['totals']['faults_injected']}   "
+        f"arbiter crashes: {payload['totals']['crashes']}",
+    ]
+    if payload["errors_by_type"]:
+        lines.append(
+            "errors by type: "
+            + ", ".join(
+                f"{name}={n}" for name, n in payload["errors_by_type"].items()
+            )
+        )
+    for title, table in (
+        ("config", payload["by_config"]),
+        ("workload", payload["by_workload"]),
+        ("faults", payload["by_fault"]),
+    ):
+        if len(table) > 1:
+            lines.append(
+                f"by {title}: "
+                + "  ".join(
+                    f"{name} {bucket['certified']}/{bucket['cells']}"
+                    for name, bucket in table.items()
+                )
+            )
+    failure = payload.get("first_failure")
+    if failure:
+        lines.append(
+            f"first failure: {failure['name']} [{failure['status']}] "
+            f"{failure.get('error') or failure.get('sc_reason') or ''}".rstrip()
+        )
+    if payload["all_certified"]:
+        lines.append(
+            f"RESULT: SC certified by verify.sc_checker on all "
+            f"{payload['cells']} cells "
+            f"under {payload['totals']['faults_injected']} injected faults"
+        )
+    elif payload["missing"]:
+        lines.append(
+            f"RESULT: incomplete — {payload['missing']} cell(s) not yet run "
+            "(resume the campaign)"
+        )
+    else:
+        failed = payload["completed"] - payload["certified"]
+        lines.append(f"RESULT: {failed} of {payload['cells']} cell(s) failed")
+    return "\n".join(lines)

@@ -1,0 +1,330 @@
+"""Sharded, checkpointed, resumable campaign execution.
+
+The runner turns the deterministic cell queue into durable evidence:
+
+* cells are executed in canonical order, ``shard_size`` at a time, each
+  shard fanned over :func:`repro.harness.parallel.parallel_map` with a
+  per-cell wall-clock ``cell_timeout`` and bounded retry-with-backoff
+  for workers that die mid-cell;
+* each shard's results are appended to the store as one durability
+  batch together with its checkpoint record, so a ``kill -9`` loses at
+  most the shard in flight — never a persisted result;
+* when the fork pool keeps failing (a shard whose crashes survive even
+  the in-pool retries), the runner re-runs the crashed cells serially
+  in-process, and after ``DEGRADE_AFTER`` such shards it degrades the
+  whole campaign to serial execution for the rest of the session;
+* cells that fail *diagnosably* (typed error, SC violation, forbidden
+  outcome) are re-recorded as replayable traces and fed to the PR 3
+  ddmin minimizer; both artifacts land under ``<store>/traces/``.
+
+Aggregates are computed from the store in canonical cell order, purely
+from deterministic per-cell outcome payloads — which is what makes a
+killed-and-resumed campaign's final report bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.queue import CampaignCell, cells_by_key, expand_cells
+from repro.campaign.report import aggregate_report
+from repro.campaign.store import CampaignStore
+from repro.errors import ReproError
+from repro.harness.parallel import CellFailure, parallel_map
+
+#: After this many shards needed the serial fallback, stop forking
+#: altogether for the rest of the session.
+DEGRADE_AFTER = 2
+
+#: Upper bound on ddmin candidate runs per minimized failure.
+MINIMIZE_BUDGET = 80
+
+
+@dataclass
+class RunnerOptions:
+    """Execution knobs (none of these affect any cell's *outcome*)."""
+
+    jobs: int = 1
+    shard_size: int = 64
+    cell_timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    minimize: bool = True
+    max_minimize: int = 3
+
+
+def execute_cell(cell: CampaignCell) -> dict:
+    """Run one cell and return its pure-data outcome payload.
+
+    Deterministic per cell: the injector is seeded from the cell seed
+    and labeled with the cell key, so re-running an in-flight cell after
+    a crash reproduces the identical outcome.  Never raises for a
+    *simulation* failure — typed errors become ``status="error"``
+    payloads; an untyped exception is a harness bug and propagates.
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, crash_script_from
+    from repro.params import NAMED_CONFIGS
+    from repro.replay.workload import build_workload
+    from repro.system import run_workload
+    from repro.verify.sc_checker import check_sequential_consistency
+
+    outcome: Dict[str, object] = {
+        "key": cell.key,
+        "name": cell.name,
+        "status": "ok",
+        "error": None,
+        "cycles": 0.0,
+        "faults_injected": 0,
+        "fault_summary": "",
+        "sc_reason": "",
+        "crashes": 0,
+        "recovery_cycles": 0.0,
+    }
+    config = NAMED_CONFIGS[cell.config](seed=cell.seed)
+    if cell.fault.no_retry:
+        config = config.with_resilience(retries_enabled=False)
+    programs, space, test = build_workload(cell.workload_spec(), config)
+    plan = (
+        FaultPlan.parse(cell.fault.faults, rate=cell.fault.rate)
+        if cell.fault.faults
+        else FaultPlan.none()
+    )
+    injector = FaultInjector(plan, seed=cell.seed, label=f"campaign/{cell.key}")
+    if cell.fault.crashes:
+        injector.crash_script = crash_script_from(cell.fault.crashes)
+    try:
+        result = run_workload(
+            config,
+            programs,
+            space,
+            record_history=True,
+            fault_injector=injector,
+            max_events=cell.max_events,
+        )
+    except ReproError as exc:
+        outcome["status"] = "error"
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+        outcome["faults_injected"] = injector.total_injected
+        outcome["fault_summary"] = injector.summary()
+        return outcome
+    outcome["cycles"] = result.cycles
+    outcome["faults_injected"] = injector.total_injected
+    outcome["fault_summary"] = injector.summary()
+    outcome["crashes"] = int(result.stat("recovery.crashes"))
+    outcome["recovery_cycles"] = result.stat("recovery.total_cycles.mean")
+    check = check_sequential_consistency(result.history)
+    if not check.ok:
+        outcome["status"] = "sc-violation"
+        outcome["sc_reason"] = check.reason
+    elif test is not None and test.forbidden(result.registers):
+        outcome["status"] = "forbidden"
+    return outcome
+
+
+def _infra_outcome(cell: CampaignCell, failure: CellFailure) -> dict:
+    """Outcome payload for a cell the harness (not the simulator) lost."""
+    return {
+        "key": cell.key,
+        "name": cell.name,
+        "status": "timeout" if failure.kind == "timeout" else "worker-crash",
+        "error": failure.error,
+        "cycles": 0.0,
+        "faults_injected": 0,
+        "fault_summary": "",
+        "sc_reason": "",
+        "crashes": 0,
+        "recovery_cycles": 0.0,
+        "attempts": failure.attempts,
+    }
+
+
+def _minimize_failures(
+    store: CampaignStore,
+    cells: List[CampaignCell],
+    outcomes: Dict[str, dict],
+    options: RunnerOptions,
+    say: Callable[[str], None],
+) -> None:
+    """Re-record + ddmin-minimize failing cells into ``traces/``."""
+    from repro.replay.minimizer import minimize_trace
+    from repro.replay.recorder import record_run
+
+    already = {t["key"] for t in store.load().traces}
+    budget = options.max_minimize
+    for cell in cells:
+        if budget <= 0:
+            break
+        outcome = outcomes.get(cell.key)
+        if outcome is None or cell.key in already:
+            continue
+        if outcome["status"] not in ("error", "sc-violation", "forbidden"):
+            continue
+        budget -= 1
+        say(f"minimizing failing cell {cell.name}")
+        try:
+            recorded = record_run(
+                spec=cell.workload_spec(),
+                config_name=cell.config,
+                seed=cell.seed,
+                faults=cell.fault.faults or None,
+                rate=cell.fault.rate,
+                no_retry=cell.fault.no_retry,
+                injector_seed=cell.seed,
+                injector_label=f"campaign/{cell.key}",
+                max_events=cell.max_events,
+                kind="chaos",
+                crashes=list(cell.fault.crashes) or None,
+            )
+            store.save_trace(recorded.trace, cell.key)
+            minimized = minimize_trace(recorded.trace, budget=MINIMIZE_BUDGET)
+            store.save_trace(minimized.trace, cell.key, minimized=True)
+            say(f"  {minimized.describe()}")
+        except ReproError as exc:
+            store.append(
+                {
+                    "type": "trace",
+                    "key": cell.key,
+                    "minimized": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "ts": time.time(),  # detlint: ok[DET003] — log-envelope timestamp, never aggregated
+                }
+            )
+            say(f"  minimization failed: {exc}")
+
+
+def run_campaign(
+    store: CampaignStore,
+    options: Optional[RunnerOptions] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Execute (or resume) a campaign to completion; returns the report.
+
+    Finished cells in the store are skipped; claimed-but-unresolved
+    (in-flight) cells re-run.  The returned payload is also written to
+    ``<store>/report.json`` atomically.
+    """
+    options = options or RunnerOptions()
+    say = progress or (lambda message: None)
+    spec = store.spec
+    cells = expand_cells(spec)
+    unique = cells_by_key(cells)
+    queue_cells = [c for c in cells if unique[c.key] is c]  # dedup by memo key
+    if store.trim_torn_tail():
+        say("dropped a torn tail line from the log (killed mid-append)")
+    state = store.load()
+    done = state.done_keys
+    pending = [c for c in queue_cells if c.key not in done]
+    requeued = [c for c in pending if c.key in state.in_flight_keys]
+    store.log_session(
+        "resume" if done or state.claimed else "run",
+        jobs=options.jobs,
+        pending=len(pending),
+        done=len(done),
+        requeued=len(requeued),
+    )
+    say(
+        f"campaign {spec.name!r}: {len(queue_cells)} cells "
+        f"({len(done)} done, {len(pending)} to run"
+        + (f", {len(requeued)} re-queued in-flight" if requeued else "")
+        + ")"
+    )
+    degraded = 0
+    shard_index = len(state.checkpoints)
+    for start in range(0, len(pending), options.shard_size):
+        shard = pending[start : start + options.shard_size]
+        store.append(
+            {
+                "type": "claim",
+                "shard": shard_index,
+                "keys": [c.key for c in shard],
+                "ts": time.time(),  # detlint: ok[DET003] — log-envelope timestamp, never aggregated
+            }
+        )
+        shard_started = time.monotonic()  # detlint: ok[DET003] — shard wall-clock bookkeeping
+        use_serial = degraded >= DEGRADE_AFTER or options.jobs <= 1
+        if use_serial and options.cell_timeout is None:
+            results = [execute_cell(cell) for cell in shard]
+        else:
+            results = parallel_map(
+                execute_cell,
+                shard,
+                jobs=1 if use_serial else options.jobs,
+                timeout=options.cell_timeout,
+                retries=options.retries,
+                backoff=options.backoff,
+                failure_mode="return",
+            )
+        crashed = [
+            (i, r) for i, r in enumerate(results)
+            if isinstance(r, CellFailure) and r.kind == "crash"
+        ]
+        if crashed:
+            # The pool's own retries were exhausted: fall back to
+            # running the lost cells serially in-process.
+            degraded += 1
+            store.append(
+                {
+                    "type": "degrade",
+                    "shard": shard_index,
+                    "crashed": len(crashed),
+                    "permanent": degraded >= DEGRADE_AFTER,
+                    "ts": time.time(),  # detlint: ok[DET003] — log-envelope timestamp, never aggregated
+                }
+            )
+            say(
+                f"shard {shard_index}: {len(crashed)} worker crash(es) "
+                f"survived retries — re-running serially"
+                + (" (degrading to serial)" if degraded >= DEGRADE_AFTER else "")
+            )
+            for i, failure in crashed:
+                try:
+                    results[i] = execute_cell(shard[i])
+                except ReproError:
+                    results[i] = failure  # keep the infra failure on record
+        elapsed = time.monotonic() - shard_started  # detlint: ok[DET003] — shard wall-clock bookkeeping
+        records = []
+        for cell, result in zip(shard, results):
+            outcome = (
+                _infra_outcome(cell, result)
+                if isinstance(result, CellFailure)
+                else result
+            )
+            records.append(
+                {
+                    "type": "result",
+                    "key": cell.key,
+                    "name": cell.name,
+                    "outcome": outcome,
+                    "elapsed": elapsed / max(1, len(shard)),
+                }
+            )
+        records.append(
+            {
+                "type": "checkpoint",
+                "shard": shard_index,
+                "cells": len(shard),
+                "done": len(done) + start + len(shard),
+                "elapsed": elapsed,
+                "ts": time.time(),  # detlint: ok[DET003] — log-envelope timestamp, never aggregated
+            }
+        )
+        # One write + one fsync: the checkpoint lands atomically with
+        # the results it covers.
+        store.append_many(records)
+        shard_index += 1
+        say(
+            f"shard {shard_index} checkpointed: "
+            f"{len(done) + start + len(shard)}/{len(queue_cells)} cells "
+            f"({elapsed:.1f}s)"
+        )
+    final = store.load()
+    outcomes = {key: final.results[key]["outcome"] for key in final.results}
+    if options.minimize:
+        _minimize_failures(store, queue_cells, outcomes, options, say)
+    payload = aggregate_report(spec, queue_cells, outcomes)
+    store.save_report(payload)
+    return payload

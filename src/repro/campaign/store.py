@@ -1,0 +1,283 @@
+"""The campaign store: one directory, append-only, crash-tolerant.
+
+Layout::
+
+    <dir>/
+      campaign.json    # the spec (atomic write: tmp + rename)
+      log.jsonl        # append-only event log (claims, results, checkpoints)
+      report.json      # final aggregate (atomic write, rewritten on completion)
+      traces/          # replayable failure traces (original + ddmin-minimized)
+
+Durability protocol:
+
+* Every log append is one complete JSON line followed by ``flush`` +
+  ``fsync``; a batch (one shard's results + its checkpoint record) is a
+  single write-and-sync, so the checkpoint is on disk *atomically with*
+  the results it covers.
+* A ``kill -9`` can leave at most one torn line at the tail of
+  ``log.jsonl``.  :meth:`CampaignStore.load` tolerates exactly that —
+  a torn *tail* is dropped (its cell is simply re-run on resume); a
+  torn line anywhere else means real corruption and raises
+  :class:`~repro.errors.CampaignError`.
+* ``campaign.json`` and ``report.json`` are written to a temp file and
+  ``os.replace``d, so readers never observe a half-written spec/report.
+
+Record types in ``log.jsonl``:
+
+* ``{"type": "claim", "keys": [...], "shard": i, "ts": ...}`` — a shard
+  was dispatched; claimed-but-unresolved keys are *in flight* and get
+  re-queued by resume.
+* ``{"type": "result", "key": ..., "name": ..., "outcome": {...},
+  "elapsed": ...}`` — one finished cell.  ``outcome`` is pure
+  deterministic data (it feeds the aggregate); ``elapsed``/``ts`` are
+  wall-clock bookkeeping and never enter aggregates.
+* ``{"type": "checkpoint", "shard": i, "done": n, "ts": ...}`` — a shard
+  fully persisted.
+* ``{"type": "degrade"| "session" | "trace", ...}`` — operational notes
+  (pool fell back to serial, a run/resume session started, a failure
+  trace was saved).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import CampaignError
+
+LOG_NAME = "log.jsonl"
+SPEC_NAME = "campaign.json"
+REPORT_NAME = "report.json"
+TRACES_DIR = "traces"
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class StoreState:
+    """Everything :meth:`CampaignStore.load` recovers from the log."""
+
+    def __init__(self) -> None:
+        self.results: Dict[str, dict] = {}  # key -> result record
+        self.claimed: Set[str] = set()
+        self.checkpoints: List[dict] = []
+        self.sessions: List[dict] = []
+        self.degrades: List[dict] = []
+        self.traces: List[dict] = []
+        self.torn_tail = False
+
+    @property
+    def done_keys(self) -> Set[str]:
+        return set(self.results)
+
+    @property
+    def in_flight_keys(self) -> Set[str]:
+        return self.claimed - self.done_keys
+
+    def outcome(self, key: str) -> Optional[dict]:
+        record = self.results.get(key)
+        return None if record is None else record.get("outcome")
+
+
+class CampaignStore:
+    """One campaign directory; all mutation goes through this class."""
+
+    def __init__(self, path: str, spec: Optional[CampaignSpec]):
+        self.path = path
+        self.spec = spec
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(cls, path: str, spec: CampaignSpec) -> "CampaignStore":
+        if os.path.exists(os.path.join(path, SPEC_NAME)):
+            raise CampaignError(
+                f"campaign store {path!r} already exists; "
+                "use `campaign resume` to continue it"
+            )
+        os.makedirs(os.path.join(path, TRACES_DIR), exist_ok=True)
+        _atomic_write_json(os.path.join(path, SPEC_NAME), spec.to_obj())
+        return cls(path, spec)
+
+    @classmethod
+    def attach(cls, path: str) -> "CampaignStore":
+        """Open an existing store, or create a *trace-only* one.
+
+        Used by ``chaos --save-trace DIR``: failure traces from ad-hoc
+        chaos runs land in the same store layout campaigns use (one
+        results directory, not scattered files), without requiring a
+        campaign spec.  A trace-only store has ``spec=None`` and
+        supports only :meth:`save_trace`/:meth:`append`; running or
+        reporting it requires a real campaign.
+        """
+        if os.path.exists(os.path.join(path, SPEC_NAME)):
+            return cls.open(path)
+        os.makedirs(os.path.join(path, TRACES_DIR), exist_ok=True)
+        return cls(path, spec=None)
+
+    @classmethod
+    def open(cls, path: str) -> "CampaignStore":
+        spec_path = os.path.join(path, SPEC_NAME)
+        if not os.path.exists(spec_path):
+            raise CampaignError(
+                f"no campaign store at {path!r} (missing {SPEC_NAME})"
+            )
+        with open(spec_path, "r", encoding="utf-8") as handle:
+            try:
+                obj = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CampaignError(
+                    f"corrupt {SPEC_NAME} in {path!r}: {exc}"
+                ) from exc
+        return cls(path, CampaignSpec.from_obj(obj))
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.path, LOG_NAME)
+
+    @property
+    def report_path(self) -> str:
+        return os.path.join(self.path, REPORT_NAME)
+
+    @property
+    def traces_path(self) -> str:
+        return os.path.join(self.path, TRACES_DIR)
+
+    def trace_path(self, key: str, minimized: bool = False) -> str:
+        suffix = "min.jsonl" if minimized else "jsonl"
+        return os.path.join(self.traces_path, f"{key}.{suffix}")
+
+    # -- appends -------------------------------------------------------
+    def append(self, record: dict) -> None:
+        self.append_many([record])
+
+    def append_many(self, records: Iterable[dict]) -> None:
+        """Append records as one write + one fsync (a durability batch)."""
+        lines = "".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            for record in records
+        )
+        if not lines:
+            return
+        with open(self.log_path, "a", encoding="utf-8") as handle:
+            handle.write(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def trim_torn_tail(self) -> bool:
+        """Physically drop a torn trailing line left by ``kill -9``.
+
+        :meth:`load` merely *tolerates* a torn tail; a writer that
+        appended after one would bury it mid-log, which :meth:`load`
+        rightly treats as corruption.  The runner therefore calls this
+        once at session start, before its first append.  Returns True
+        if a torn line was removed.
+        """
+        if not os.path.exists(self.log_path):
+            return False
+        with open(self.log_path, "rb") as handle:
+            data = handle.read()
+        if not data:
+            return False
+        keep = len(data)
+        if not data.endswith(b"\n"):
+            # Kill mid-write: drop the unterminated fragment.  The
+            # record's claim stands, so resume re-runs its cell.
+            keep = data.rfind(b"\n") + 1
+        else:
+            last = data[data.rfind(b"\n", 0, len(data) - 1) + 1:]
+            try:
+                json.loads(last)
+            except json.JSONDecodeError:
+                keep = len(data) - len(last)
+        if keep == len(data):
+            return False
+        with open(self.log_path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return True
+
+    def log_session(self, kind: str, **extra: object) -> None:
+        now = time.time()  # detlint: ok[DET003] — log-envelope timestamp
+        self.append({"type": "session", "kind": kind, "ts": now, **extra})
+
+    # -- recovery ------------------------------------------------------
+    def load(self) -> StoreState:
+        """Replay the log; tolerates one torn line at the tail only."""
+        state = StoreState()
+        if not os.path.exists(self.log_path):
+            return state
+        with open(self.log_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # kill -9 mid-append: drop the torn tail; the cell's
+                    # claim stands, so resume re-runs it.
+                    state.torn_tail = True
+                    continue
+                raise CampaignError(
+                    f"corrupt campaign log {self.log_path!r} at line "
+                    f"{lineno + 1} (not the tail — refusing to guess)"
+                )
+            kind = record.get("type")
+            if kind == "claim":
+                state.claimed.update(record.get("keys", ()))
+            elif kind == "result":
+                # First write wins: results are deterministic, and a
+                # resumed campaign never re-records a finished cell.
+                state.results.setdefault(record["key"], record)
+            elif kind == "checkpoint":
+                state.checkpoints.append(record)
+            elif kind == "session":
+                state.sessions.append(record)
+            elif kind == "degrade":
+                state.degrades.append(record)
+            elif kind == "trace":
+                state.traces.append(record)
+            # Unknown record types are skipped: newer stores stay
+            # readable by older code for status purposes.
+        return state
+
+    # -- report + traces ----------------------------------------------
+    def save_report(self, payload: dict) -> None:
+        _atomic_write_json(self.report_path, payload)
+
+    def read_report(self) -> Optional[dict]:
+        if not os.path.exists(self.report_path):
+            return None
+        with open(self.report_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save_trace(self, trace, key: str, minimized: bool = False) -> str:
+        """Write a replayable trace under ``traces/`` and log it."""
+        from repro.replay.schema import write_trace
+
+        os.makedirs(self.traces_path, exist_ok=True)
+        path = self.trace_path(key, minimized=minimized)
+        write_trace(trace, path)
+        self.append(
+            {
+                "type": "trace",
+                "key": key,
+                "minimized": minimized,
+                "path": os.path.relpath(path, self.path),
+                "ts": time.time(),  # detlint: ok[DET003] — log-envelope timestamp
+            }
+        )
+        return path

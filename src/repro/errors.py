@@ -69,6 +69,34 @@ class RecoveryError(ResilienceError):
     """
 
 
+class HarnessError(ReproError):
+    """The test/campaign harness itself (not the simulator) failed."""
+
+
+class WorkerCrashError(HarnessError):
+    """A forked worker process died mid-cell and retries were exhausted.
+
+    Raised (or returned as a :class:`~repro.harness.parallel.CellFailure`)
+    by :func:`~repro.harness.parallel.parallel_map` when a child exits
+    without shipping a result — OOM-killed, segfaulted, or ``kill -9``ed
+    — after the configured retry budget.  Distinct from an exception the
+    cell function raised, which is deterministic and always propagates
+    as itself.
+    """
+
+
+class CellTimeoutError(HarnessError):
+    """A cell exceeded its wall-clock budget and its worker was killed.
+
+    Campaigns record these as failed cells rather than letting one
+    livelocked simulation hang the whole run.
+    """
+
+
+class CampaignError(HarnessError):
+    """A campaign store/spec is invalid, corrupt, or used inconsistently."""
+
+
 class ProgramError(ReproError):
     """A thread program is malformed (bad operands, unknown ops, ...)."""
 

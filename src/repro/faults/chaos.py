@@ -131,6 +131,64 @@ class ChaosReport:
         return bool(self.runs) and all(r.ok for r in self.runs)
 
 
+def chaos_campaign_spec(
+    seed: int,
+    faults: str,
+    workload: str = "litmus",
+    config_name: str = "BSCdypvt",
+    rate: Optional[float] = None,
+    no_retry: bool = False,
+    instructions: int = 2000,
+    quick: bool = False,
+    crashes: Sequence[str] = (),
+):
+    """Map a ``chaos`` CLI invocation onto a durable campaign spec.
+
+    This is the campaign-mode entry of the chaos harness: the same
+    (workload x seed x stagger) grid an in-memory :func:`run_chaos`
+    campaign sweeps, expressed as a
+    :class:`~repro.campaign.spec.CampaignSpec` so it can run
+    checkpointed, sharded, and resumable through
+    :func:`repro.campaign.runner.run_campaign` (``chaos --campaign
+    DIR``).  Cell outcomes use the campaign determinism scheme (the
+    injector is seeded per cell), so a durable chaos campaign is
+    reproducible cell-by-cell rather than report-by-report.
+    """
+    from repro.campaign.spec import CampaignSpec, FaultVariant
+
+    if workload not in ("litmus", "synthetic", "mix"):
+        raise ValueError(f"unknown chaos workload {workload!r}")
+    FaultPlan.parse(faults, rate=rate)  # validate the spelling up front
+    workloads: List[dict] = []
+    if workload in ("litmus", "mix"):
+        staggers = _QUICK_STAGGERS if quick else _STAGGERS
+        workloads.extend(
+            {"kind": "litmus", "test": test.name, "stagger": list(stagger)}
+            for test in all_litmus_tests()
+            for stagger in staggers
+        )
+    if workload in ("synthetic", "mix"):
+        workloads.extend(
+            {"kind": "app", "app": app}
+            for app in (ALL_APPS[:1] if quick else ALL_APPS[:3])
+        )
+    variant = FaultVariant(
+        faults=faults,
+        rate=rate,
+        no_retry=no_retry,
+        crashes=tuple(CrashPoint.parse(c).canonical() for c in crashes),
+    )
+    return CampaignSpec(
+        name=f"chaos-{workload}-s{seed}",
+        configs=(config_name,),
+        workloads=tuple(workloads),
+        seeds=(seed,) if quick else (seed, seed + 1),
+        faults=(variant,),
+        instructions=instructions,
+        max_events=CHAOS_MAX_EVENTS,
+    ).validate()
+
+
 def run_chaos(
     seed: int,
     faults: str,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.harness.parallel import parallel_map
+from repro.harness.parallel import CellFailure, parallel_map
 from repro.params import NAMED_CONFIGS, SystemConfig
 from repro.system import RunResult, run_workload
 from repro.workloads.commercial import COMMERCIAL_ORDER, commercial_workload
@@ -24,6 +24,25 @@ ALL_APPS: Tuple[str, ...] = SPLASH2_APPS + COMMERCIAL_APPS
 
 #: The configuration names of Table 2, in the paper's plotting order.
 FIGURE9_CONFIGS = ("SC", "RC", "SC++", "BSCbase", "BSCdypvt", "BSCexact", "BSCstpvt")
+
+
+def memo_key(
+    config_name: str,
+    app: str,
+    instructions: int,
+    seed: int,
+    record_history: bool,
+) -> Tuple[str, str, int, int, bool]:
+    """The canonical memo key of one simulation cell.
+
+    This tuple of primitives is the identity of a run everywhere results
+    are cached or deduplicated: the :class:`SweepRunner` cache and the
+    campaign store's resume logic (:mod:`repro.campaign.queue`) both key
+    on it, so it must be stable across processes, pickle round-trips,
+    and interpreter invocations — only plain, order-insensitive values
+    belong here.
+    """
+    return (config_name, app, int(instructions), int(seed), bool(record_history))
 
 
 def build_app_workload(app: str, config: SystemConfig, instructions: int, seed: int):
@@ -48,25 +67,40 @@ class SweepRunner:
         record_history: bool = False,
         config_overrides: Optional[Dict[str, Callable[[SystemConfig], SystemConfig]]] = None,
         jobs: int = 1,
+        cell_timeout: Optional[float] = None,
     ):
         self.instructions_per_thread = instructions_per_thread
         self.seed = seed
         self.record_history = record_history
         self.config_overrides = config_overrides or {}
         self.jobs = jobs
+        #: Per-cell wall-clock budget (seconds) for :meth:`sweep`: a
+        #: livelocked simulation is killed and recorded in
+        #: :attr:`failed` instead of hanging the whole sweep.
+        self.cell_timeout = cell_timeout
         self._cache: Dict[Tuple, RunResult] = {}
+        #: Cells lost to infra failures (timeout / worker death), keyed
+        #: like the cache; they are skipped by :meth:`sweep`'s output
+        #: rather than raising.
+        self.failed: Dict[Tuple, CellFailure] = {}
 
-    def _key(self, config_name: str, app: str) -> Tuple:
-        # The run parameters participate in the key so that mutating the
-        # runner between calls (seed, budget, history) can never serve a
-        # stale result recorded under the old parameters.
-        return (
+    def memo_key(self, config_name: str, app: str) -> Tuple:
+        """The cache key of one cell under this runner's parameters.
+
+        The run parameters participate in the key so that mutating the
+        runner between calls (seed, budget, history) can never serve a
+        stale result recorded under the old parameters.
+        """
+        return memo_key(
             config_name,
             app,
             self.instructions_per_thread,
             self.seed,
             self.record_history,
         )
+
+    # Backwards-compatible alias (pre-campaign spelling).
+    _key = memo_key
 
     def config_for(self, config_name: str) -> SystemConfig:
         try:
@@ -117,17 +151,36 @@ class SweepRunner:
         parallel results carry ``machine=None`` (they crossed a pickle
         boundary) but are otherwise identical to serial ones, and the
         returned mapping is keyed and ordered exactly as in a serial
-        sweep.
+        sweep.  With :attr:`cell_timeout` set, a cell that exceeds its
+        wall-clock budget (or whose worker dies) is recorded in
+        :attr:`failed` and omitted from the mapping instead of raising.
         """
         cells = [(name, app) for app in apps for name in config_names]
-        missing = [c for c in cells if self._key(*c) not in self._cache]
-        if missing and self.jobs != 1:
+        missing = [
+            c
+            for c in cells
+            if self.memo_key(*c) not in self._cache
+            and self.memo_key(*c) not in self.failed
+        ]
+        if missing and (self.jobs != 1 or self.cell_timeout is not None):
             for cell, result in zip(
-                missing, parallel_map(self._run_cell_slim, missing, jobs=self.jobs)
+                missing,
+                parallel_map(
+                    self._run_cell_slim,
+                    missing,
+                    jobs=self.jobs,
+                    timeout=self.cell_timeout,
+                    failure_mode="return",
+                ),
             ):
-                self._cache[self._key(*cell)] = result
+                if isinstance(result, CellFailure):
+                    self.failed[self.memo_key(*cell)] = result
+                else:
+                    self._cache[self.memo_key(*cell)] = result
         out: Dict[Tuple[str, str], RunResult] = {}
         for name, app in cells:
+            if self.memo_key(name, app) in self.failed:
+                continue
             out[(name, app)] = self.result(name, app)
         return out
 

@@ -9,9 +9,9 @@ results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.harness.parallel import parallel_map
+from repro.harness.parallel import CellFailure, parallel_map
 from repro.harness.runner import SweepRunner
 from repro.params import SystemConfig
 from repro.system import RunResult
@@ -79,6 +79,7 @@ def sweep_parameter(
     seed: int = 0,
     metric_name: str = "metric",
     jobs: int = 1,
+    cell_timeout: Optional[float] = None,
 ) -> SweepResult:
     """Run ``config_name`` over ``apps`` for each parameter value.
 
@@ -95,6 +96,9 @@ def sweep_parameter(
         jobs: Worker processes for the (value, app) grid; cells are
             independent simulations, so results are identical to a
             serial sweep and merge in grid order.
+        cell_timeout: Per-cell wall-clock budget in seconds; a cell
+            that exceeds it (or whose worker dies) is dropped from the
+            result's points rather than hanging or failing the sweep.
     """
 
     def run_cell(cell) -> SweepPoint:
@@ -113,5 +117,14 @@ def sweep_parameter(
         )
 
     cells = [(value, app) for value in values for app in apps]
-    points: List[SweepPoint] = parallel_map(run_cell, cells, jobs=jobs)
+    outcomes = parallel_map(
+        run_cell,
+        cells,
+        jobs=jobs,
+        timeout=cell_timeout,
+        failure_mode="return",
+    )
+    points: List[SweepPoint] = [
+        p for p in outcomes if not isinstance(p, CellFailure)
+    ]
     return SweepResult(parameter_name, metric_name, points)

@@ -436,20 +436,18 @@ def chaos_failure_run(report) -> Optional[object]:
     return None
 
 
-def save_chaos_failure(report, path: str) -> Optional[str]:
-    """Re-record a chaos campaign's failing run as a replayable trace.
+def record_chaos_failure(report) -> Optional[RecordedRun]:
+    """Re-record a chaos campaign's first failing run as a trace.
 
     Chaos runs are deterministic per ``(plan, seed, label)``, so re-driving
     the failing run with a recorder attached reproduces it exactly; the
-    resulting artifact replays (and minimizes) stand-alone.  Returns the
-    written path, or ``None`` when every run was certified.
+    resulting artifact replays (and minimizes) stand-alone.  Returns
+    ``None`` when every run was certified.
     """
-    from repro.replay.schema import write_trace
-
     run = chaos_failure_run(report)
     if run is None:
         return None
-    recorded = record_run(
+    return record_run(
         spec=run.repro["workload"],
         config_name=report.config_name,
         seed=run.repro["config_seed"],
@@ -461,5 +459,30 @@ def save_chaos_failure(report, path: str) -> Optional[str]:
         kind="chaos",
         crashes=list(getattr(report, "crashes_spelling", ()) or ()) or None,
     )
-    write_trace(recorded.trace, path)
-    return path
+
+
+def save_chaos_failure(report, path: str) -> Optional[str]:
+    """Save a chaos campaign's failing run as a replayable trace artifact.
+
+    ``path`` ending in ``.jsonl`` writes a stand-alone trace file (the
+    original contract).  Any other path is treated as a campaign store
+    directory (:meth:`repro.campaign.store.CampaignStore.attach`): the
+    trace lands under ``<path>/traces/`` next to campaign artifacts and
+    is logged in the store's ``log.jsonl`` — one results directory
+    instead of scattered trace files.  Returns the written path, or
+    ``None`` when every run was certified.
+    """
+    from repro.replay.schema import write_trace
+
+    recorded = record_chaos_failure(report)
+    if recorded is None:
+        return None
+    if path.endswith(".jsonl"):
+        write_trace(recorded.trace, path)
+        return path
+    from repro.campaign.store import CampaignStore
+
+    store = CampaignStore.attach(path)
+    run = chaos_failure_run(report)
+    label = run.repro["injector_label"].replace("/", "-")
+    return store.save_trace(recorded.trace, f"chaos-s{report.seed}-{label}")

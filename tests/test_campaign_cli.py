@@ -1,0 +1,173 @@
+"""In-process tests for ``python -m repro campaign`` and the campaign
+integration of the chaos CLI (shared store for ``--save-trace``)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "camp")
+
+
+SMALL = ("--workloads", "litmus:SB", "--seeds", "0:2")
+
+
+class TestCampaignRun:
+    def test_run_certifies_and_exits_zero(self, store_dir, capsys):
+        code, out, err = run_cli(
+            capsys, "campaign", "run", "--dir", store_dir, *SMALL
+        )
+        assert code == 0
+        assert "RESULT: SC certified" in out
+        assert "checkpointed" in err  # progress goes to stderr
+
+    def test_run_refuses_an_existing_store(self, store_dir, capsys):
+        assert run_cli(
+            capsys, "campaign", "run", "--dir", store_dir, *SMALL
+        )[0] == 0
+        code, __, err = run_cli(
+            capsys, "campaign", "run", "--dir", store_dir, *SMALL
+        )
+        assert code == 2
+        assert "campaign resume" in err
+
+    def test_bad_workload_shorthand_is_usage_error(self, store_dir, capsys):
+        code, __, err = run_cli(
+            capsys, "campaign", "run", "--dir", store_dir,
+            "--workloads", "everything",
+        )
+        assert code == 2
+        assert "unknown workload shorthand" in err
+
+    def test_run_without_workloads_or_spec_is_usage_error(
+        self, store_dir, capsys
+    ):
+        code, __, err = run_cli(capsys, "campaign", "run", "--dir", store_dir)
+        assert code == 2
+        assert "--spec" in err
+
+    def test_run_from_spec_file(self, tmp_path, store_dir, capsys):
+        spec = CampaignSpec.build(
+            "from-file", ["BSCdypvt"], ["litmus:MP"], seeds="0:1"
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_obj()))
+        code, out, __ = run_cli(
+            capsys, "campaign", "run", "--dir", store_dir,
+            "--spec", str(spec_path), "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["campaign"] == "from-file"
+        assert payload["all_certified"] is True
+
+    def test_failing_campaign_exits_three_with_traces(self, store_dir, capsys):
+        code, out, __ = run_cli(
+            capsys, "campaign", "run", "--dir", store_dir,
+            "--workloads", "litmus:SB", "--seeds", "0:1",
+            "--faults", "kill-acks!",
+        )
+        assert code == 3
+        assert "FaultInducedError" in out
+        store = CampaignStore.open(store_dir)
+        assert store.load().traces  # failure auto-fed to the minimizer
+
+
+class TestCampaignStatusAndReport:
+    def test_status_and_report_of_a_complete_campaign(self, store_dir, capsys):
+        run_cli(capsys, "campaign", "run", "--dir", store_dir, *SMALL)
+        code, out, __ = run_cli(capsys, "campaign", "status", "--dir", store_dir)
+        assert code == 0
+        assert "status: complete" in out
+        code, out, __ = run_cli(
+            capsys, "campaign", "report", "--dir", store_dir, "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["all_certified"] is True
+
+    def test_status_json_payload(self, store_dir, capsys):
+        run_cli(capsys, "campaign", "run", "--dir", store_dir, *SMALL)
+        code, out, __ = run_cli(
+            capsys, "campaign", "status", "--dir", store_dir, "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["done"] == payload["cells"] == 4
+        assert payload["complete"] is True
+
+    def test_report_of_an_unstarted_campaign_exits_six(self, store_dir, capsys):
+        spec = CampaignSpec.build(
+            "idle", ["BSCdypvt"], ["litmus:SB"], seeds="0:2"
+        )
+        CampaignStore.create(store_dir, spec)
+        code, out, __ = run_cli(capsys, "campaign", "report", "--dir", store_dir)
+        assert code == 6
+        assert "incomplete" in out
+        code, out, __ = run_cli(capsys, "campaign", "status", "--dir", store_dir)
+        assert code == 0
+        assert "status: in progress" in out
+
+    def test_status_of_a_missing_store_is_usage_error(self, tmp_path, capsys):
+        code, __, err = run_cli(
+            capsys, "campaign", "status", "--dir", str(tmp_path / "none")
+        )
+        assert code == 2
+        assert "no campaign store" in err
+
+    def test_resume_completes_an_unstarted_campaign(self, store_dir, capsys):
+        spec = CampaignSpec.build(
+            "idle", ["BSCdypvt"], ["litmus:SB"], seeds="0:2"
+        )
+        CampaignStore.create(store_dir, spec)
+        code, out, __ = run_cli(capsys, "campaign", "resume", "--dir", store_dir)
+        assert code == 0
+        assert "RESULT: SC certified" in out
+
+
+class TestChaosIntegration:
+    def test_save_trace_directory_uses_the_campaign_store(
+        self, tmp_path, capsys
+    ):
+        out_dir = str(tmp_path / "chaosstore")
+        code, __, __ = run_cli(
+            capsys, "chaos", "--seed", "7", "--faults", "kill-acks",
+            "--no-retry", "--quick", "--save-trace", out_dir,
+        )
+        assert code == 3  # typed diagnosable failure: contract unchanged
+        store = CampaignStore.attach(out_dir)
+        traces = store.load().traces
+        assert traces and traces[0]["path"].startswith("traces")
+
+    def test_save_trace_jsonl_path_keeps_old_contract(self, tmp_path, capsys):
+        path = tmp_path / "failure.jsonl"
+        code, __, __ = run_cli(
+            capsys, "chaos", "--seed", "7", "--faults", "kill-acks",
+            "--no-retry", "--quick", "--save-trace", str(path),
+        )
+        assert code == 3
+        assert path.exists()  # standalone trace file, no store layout
+        assert not (tmp_path / "traces").exists()
+
+    def test_chaos_campaign_mode_certifies(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "campchaos")
+        code, out, __ = run_cli(
+            capsys, "chaos", "--seed", "7", "--faults", "drop,delay,dup",
+            "--quick", "--campaign", out_dir,
+        )
+        assert code == 0
+        assert "RESULT: SC certified" in out
+        store = CampaignStore.open(out_dir)
+        assert store.spec.name.startswith("chaos-")
+        assert store.read_report()["all_certified"] is True

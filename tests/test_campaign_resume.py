@@ -1,0 +1,153 @@
+"""Acceptance: kill -9 a >=1000-cell campaign at ~50% and resume.
+
+This is the PR's headline robustness claim, exercised for real: a
+subprocess runs the campaign, we SIGKILL it (no cleanup, no atexit) once
+roughly half the cells have persisted results, ``campaign resume``
+finishes the job, and the final ``report.json`` must be **byte-identical**
+to the report of the same campaign run uninterrupted in a separate
+store.  The resumed run must also actually resume — re-running at most
+the shard that was in flight, never the finished prefix.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.harness.parallel import fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SHARD = 32
+
+
+def big_spec() -> CampaignSpec:
+    # 14 litmus workloads (7 tests x 2 staggers) x 72 seeds = 1008 cells.
+    return CampaignSpec.build(
+        name="acceptance", configs=["BSCdypvt"], workload_args=["litmus"],
+        seeds="0:72",
+    )
+
+
+def cli(*argv, **kwargs):
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, **kwargs
+    )
+
+
+def spawn_cli(*argv):
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def count_results(store_dir: str) -> int:
+    log = os.path.join(store_dir, "log.jsonl")
+    if not os.path.exists(log):
+        return 0
+    count = 0
+    with open(log, "rb") as handle:
+        for line in handle:
+            if b'"type":"result"' in line:
+                count += 1
+    return count
+
+
+def read_bytes(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestKillAndResumeBitIdentity:
+    def test_1k_cell_campaign_survives_kill_dash_nine(self, tmp_path):
+        spec = big_spec()
+        assert spec.cell_count >= 1000
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_obj()))
+        full_dir = str(tmp_path / "full")
+        killed_dir = str(tmp_path / "killed")
+
+        # Reference: the same campaign, uninterrupted.
+        reference = cli(
+            "campaign", "run", "--dir", full_dir, "--spec", str(spec_path),
+            "--jobs", "2", "--shard-size", str(SHARD), "--no-minimize",
+        )
+        assert reference.returncode == 0, reference.stderr[-2000:]
+
+        # The victim: SIGKILL once ~50% of the cells have durable results.
+        victim = spawn_cli(
+            "campaign", "run", "--dir", killed_dir, "--spec", str(spec_path),
+            "--jobs", "2", "--shard-size", str(SHARD), "--no-minimize",
+        )
+        target = spec.cell_count // 2
+        deadline = time.time() + 300
+        try:
+            while count_results(killed_dir) < target:
+                if victim.poll() is not None:
+                    pytest.fail(
+                        "campaign finished before it could be killed; "
+                        f"{count_results(killed_dir)} results"
+                    )
+                assert time.time() < deadline, "campaign made no progress"
+                time.sleep(0.05)
+        finally:
+            if victim.poll() is None:
+                os.kill(victim.pid, signal.SIGKILL)
+            victim.wait()
+        assert victim.returncode == -signal.SIGKILL
+
+        persisted = count_results(killed_dir)
+        assert target <= persisted < spec.cell_count
+        assert not os.path.exists(os.path.join(killed_dir, "report.json"))
+
+        # `status` on the interrupted store: progress, no completion.
+        status = cli("campaign", "status", "--dir", killed_dir, "--json")
+        assert status.returncode == 0, status.stderr[-2000:]
+        payload = json.loads(status.stdout)
+        assert payload["complete"] is False
+        assert payload["done"] >= target
+        assert payload["sessions"] == 1
+
+        # `report` on the interrupted store: exit 6 (incomplete).
+        report = cli("campaign", "report", "--dir", killed_dir)
+        assert report.returncode == 6
+
+        # Resume to completion (different job count on purpose: execution
+        # knobs must not affect any outcome).
+        resumed = cli(
+            "campaign", "resume", "--dir", killed_dir,
+            "--jobs", "1", "--shard-size", str(SHARD), "--no-minimize",
+        )
+        assert resumed.returncode == 0, resumed.stderr[-2000:]
+
+        # The headline assertion: byte-identical final aggregates.
+        assert read_bytes(
+            os.path.join(killed_dir, "report.json")
+        ) == read_bytes(os.path.join(full_dir, "report.json"))
+
+        # The resume actually resumed: the finished prefix was skipped.
+        # At most one claimed shard was in flight at the kill; duplicate
+        # result records can only come from re-running that shard.
+        total_records = count_results(killed_dir)
+        assert total_records <= spec.cell_count + SHARD
+        final_status = json.loads(
+            cli(
+                "campaign", "status", "--dir", killed_dir, "--json"
+            ).stdout
+        )
+        assert final_status["complete"] is True
+        assert final_status["sessions"] == 2
+        assert final_status["done"] == spec.cell_count

@@ -4,15 +4,32 @@ The contract of ``--jobs N`` everywhere in the harness is *bit-identity*
 with a serial run: fan-out may only change wall-clock, never a result,
 a report, or an ordering.  These tests pin that, plus the SweepRunner
 memoization-key regression (a cached result must never be served after
-the runner's parameters changed).
+the runner's parameters changed), plus the supervision contract the
+campaign runner depends on: dead workers are retried with backoff,
+livelocked cells are killed at their wall-clock budget, and both surface
+as typed errors (or in-slot :class:`CellFailure` sentinels) rather than
+hangs.
 """
 
 import dataclasses
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
 
 import pytest
 
-from repro.harness.parallel import default_jobs, fork_available, parallel_map
-from repro.harness.runner import SweepRunner
+from repro.errors import CellTimeoutError, WorkerCrashError
+from repro.harness.parallel import (
+    CellFailure,
+    default_jobs,
+    fork_available,
+    parallel_map,
+)
+from repro.harness.runner import SweepRunner, memo_key
 from repro.harness.sweeps import sweep_parameter
 
 needs_fork = pytest.mark.skipif(
@@ -45,6 +62,122 @@ class TestParallelMap:
     def test_jobs_zero_means_auto(self):
         assert default_jobs() >= 1
         assert parallel_map(lambda x: x + 1, [1, 2], jobs=0) == [2, 3]
+
+
+@needs_fork
+class TestSupervision:
+    """Dead workers, timeouts, and the typed-failure surface."""
+
+    def test_worker_death_is_retried_to_success(self, tmp_path):
+        marker = tmp_path / "attempts"
+
+        def fragile(x):
+            # Die (uncatchably) on the first two attempts, succeed after.
+            attempts = len(marker.read_text()) if marker.exists() else 0
+            marker.write_text("x" * (attempts + 1))
+            if attempts < 2:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x * 10
+
+        assert parallel_map(fragile, [7], jobs=1, retries=3, backoff=0.01) == [70]
+        assert marker.read_text() == "xxx"  # 2 deaths + 1 success
+
+    def test_exhausted_retries_raise_worker_crash_error(self):
+        def die(_):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        with pytest.raises(WorkerCrashError, match="worker died"):
+            parallel_map(die, [1], jobs=1, retries=1, backoff=0.01)
+
+    def test_return_mode_yields_cell_failure_in_slot(self):
+        def die_on_two(x):
+            if x == 2:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x
+
+        out = parallel_map(
+            die_on_two, [1, 2, 3], jobs=2, retries=1, backoff=0.01,
+            failure_mode="return",
+        )
+        assert out[0] == 1 and out[2] == 3
+        failure = out[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 2  # original + 1 retry
+        assert isinstance(failure.to_error(), WorkerCrashError)
+
+    def test_timeout_kills_livelocked_cell(self):
+        def cell(x):
+            if x == 1:
+                time.sleep(60)
+            return x
+
+        out = parallel_map(
+            cell, [0, 1, 2], jobs=3, timeout=0.5, failure_mode="return"
+        )
+        assert out[0] == 0 and out[2] == 2
+        failure = out[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "timeout"
+        assert "wall-clock budget" in failure.error
+        assert isinstance(failure.to_error(), CellTimeoutError)
+
+    def test_timeout_raises_typed_error_in_raise_mode(self):
+        with pytest.raises(CellTimeoutError):
+            parallel_map(lambda _: time.sleep(60), [1], jobs=1, timeout=0.3)
+
+    def test_cell_exceptions_propagate_not_retried(self, tmp_path):
+        marker = tmp_path / "calls"
+
+        def bad(x):
+            marker.write_text(marker.read_text() + "x" if marker.exists() else "x")
+            return 1 // x
+
+        # A deterministic cell bug is not an infra failure: no retry,
+        # the original exception type crosses back to the caller.
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(bad, [0], jobs=1, retries=3, backoff=0.01)
+        assert marker.read_text() == "x"
+
+
+class TestMemoKeyStability:
+    """The sweep memo key must be stable across process boundaries.
+
+    Campaign resume hinges on this: a cell key computed before a crash
+    must equal the key the resuming process computes for the same cell.
+    """
+
+    def test_memo_key_is_a_plain_value_tuple(self):
+        key = memo_key("BSCdypvt", "barnes", 2000, 3, True)
+        assert key == ("BSCdypvt", "barnes", 2000, 3, True)
+
+    def test_memo_key_survives_pickle_round_trip(self):
+        key = memo_key("BSCdypvt", "barnes", 2000, 3, True)
+        assert pickle.loads(pickle.dumps(key)) == key
+
+    def test_runner_method_agrees_with_module_function(self):
+        runner = SweepRunner(2000, seed=3)
+        assert runner.memo_key("BSCdypvt", "barnes") == memo_key(
+            "BSCdypvt", "barnes", 2000, 3, False
+        )
+
+    def test_memo_key_stable_across_interpreter_runs(self):
+        """A fresh interpreter computes the identical key (no per-process
+        hash randomization or id()-dependence may leak in)."""
+        program = (
+            "import json;"
+            "from repro.harness.runner import memo_key;"
+            "print(json.dumps(memo_key('BSCdypvt', 'barnes', 2000, 3, True)))"
+        )
+        env = dict(os.environ, PYTHONPATH="src", PYTHONHASHSEED="1")
+        out = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert tuple(json.loads(out.stdout)) == memo_key(
+            "BSCdypvt", "barnes", 2000, 3, True
+        )
 
 
 class TestSweepRunnerMemoKey:
