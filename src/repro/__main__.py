@@ -265,6 +265,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         saved = save_chaos_failure(report, args.save_trace)
         if saved is not None:
             print(f"replayable failure trace written to {saved}", file=sys.stderr)
+            # Localize the failure: which component's ordering contract
+            # broke, with witness event ids into the saved trace.
+            from repro.contracts.checker import check_trace, localized_summary
+            from repro.replay.schema import read_trace
+
+            contract_report = check_trace(read_trace(saved))
+            print(localized_summary(contract_report), file=sys.stderr)
         else:
             print(
                 "no failing run to save (campaign fully certified)",

@@ -7,7 +7,10 @@ human reports; deterministic output; distinct exit codes):
   chunk-conflict prediction for a litmus test or bundled application;
 * ``analyze races`` — lockset/happens-before race classification;
 * ``analyze outcomes`` — exhaustive SC-outcome enumeration (litmus-scale);
-* ``analyze detlint`` — determinism lint over Python sources.
+* ``analyze detlint`` — determinism lint over Python sources;
+* ``analyze contracts`` — per-component ordering contracts + composition
+  obligation over recorded traces, plus the bounded protocol model
+  checker (:mod:`repro.contracts`).
 
 Exit codes: 0 clean, 1 findings (cycles / races / deadlocks / lint
 hits), 2 usage error.
@@ -40,6 +43,7 @@ from repro.analysis.report import (
     render_outcomes,
     render_race_report,
 )
+from repro.contracts.cli import add_contracts_args
 from repro.cpu.thread import ThreadProgram
 from repro.errors import ProgramError, ReproError
 
@@ -244,6 +248,8 @@ def add_analyze_parser(sub: argparse._SubParsersAction) -> None:
     )
     p_lint.add_argument("--json", action="store_true", help="emit JSON")
     p_lint.set_defaults(analyze_func=_cmd_detlint)
+
+    add_contracts_args(passes)
 
     parser.set_defaults(func=cmd_analyze)
 

@@ -59,7 +59,19 @@ class CampaignCell:
         )
 
     def memo_tuple(self) -> Tuple:
-        """The cell's identity: the sweep memo key + fault environment."""
+        """The cell's identity: the sweep memo key + fault environment.
+
+        Contract cells are static analysis — no config, seed, or fault
+        environment affects their outcome — so their identity is just
+        the trace + component, letting the queue's dedup collapse the
+        config × fault × seed fan-out to one cell per component.
+        """
+        if self.workload.get("kind") == "contracts":
+            return (
+                "contracts",
+                self.workload.get("trace"),
+                self.workload.get("component", "all"),
+            )
         base = memo_key(
             self.config,
             workload_name(self.workload_spec()),

@@ -20,7 +20,9 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore, StoreState
 
 #: Statuses that mean the simulator (not the harness) failed the cell.
-FAILURE_STATUSES = ("sc-violation", "forbidden", "error")
+#: ``contract-violation`` comes from static contracts cells — a recorded
+#: trace broke a component's ordering contract.
+FAILURE_STATUSES = ("sc-violation", "forbidden", "error", "contract-violation")
 #: Statuses that mean the harness lost the cell (infra, not simulator).
 INFRA_STATUSES = ("timeout", "worker-crash")
 
@@ -46,6 +48,7 @@ def aggregate_report(
         "ok": 0,
         "sc-violation": 0,
         "forbidden": 0,
+        "contract-violation": 0,
         "error": 0,
         "timeout": 0,
         "worker-crash": 0,
@@ -72,7 +75,10 @@ def aggregate_report(
             errors_by_type[type_name] = errors_by_type.get(type_name, 0) + 1
         for table, label in (
             (by_config, cell.config),
-            (by_workload, cell.workload.get("test") or cell.workload.get("app")),
+            (by_workload,
+             cell.workload.get("test")
+             or cell.workload.get("app")
+             or cell.workload.get("component")),
             (by_fault, cell.fault.describe()),
         ):
             bucket = table.setdefault(str(label), {"cells": 0, "certified": 0})
@@ -119,7 +125,11 @@ def report_exit_code(payload: dict) -> int:
     if payload["missing"]:
         return 6
     counts = payload["counts"]
-    if counts["sc-violation"] or counts["forbidden"]:
+    if (
+        counts["sc-violation"]
+        or counts["forbidden"]
+        or counts.get("contract-violation")
+    ):
         return 1
     errors = payload.get("errors_by_type", {})
     if errors.get("LivelockError"):
@@ -227,6 +237,7 @@ def render_report(payload: dict) -> str:
         f"certified: {payload['certified']}   "
         f"sc-violations: {counts['sc-violation']}   "
         f"forbidden: {counts['forbidden']}   "
+        f"contract-violations: {counts.get('contract-violation', 0)}   "
         f"errors: {counts['error']}   "
         f"timeouts: {counts['timeout']}   "
         f"worker-crashes: {counts['worker-crash']}",

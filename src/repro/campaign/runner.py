@@ -56,6 +56,46 @@ class RunnerOptions:
     max_minimize: int = 3
 
 
+def _execute_contracts_cell(cell: CampaignCell) -> dict:
+    """Statically contract-check a recorded trace (no simulation).
+
+    Outcome statuses: ``ok``, ``contract-violation`` (with localized
+    witnesses in the payload), or ``error`` (unreadable/invalid trace).
+    """
+    from repro.contracts.checker import check_trace
+    from repro.replay.schema import read_trace
+
+    outcome: Dict[str, object] = {
+        "key": cell.key,
+        "name": cell.name,
+        "status": "ok",
+        "error": None,
+        "cycles": 0.0,
+        "faults_injected": 0,
+        "fault_summary": "",
+        "sc_reason": "",
+        "crashes": 0,
+        "recovery_cycles": 0.0,
+    }
+    component = cell.workload.get("component", "all")
+    components = None if component == "all" else [component]
+    try:
+        trace = read_trace(cell.workload["trace"])
+        report = check_trace(trace, components=components)
+    except (ReproError, OSError) as exc:
+        outcome["status"] = "error"
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+        return outcome
+    outcome["contracts"] = {
+        "failing": list(report.failing_components),
+        "witnesses": [w.payload() for w in report.witnesses[:10]],
+    }
+    if not report.ok:
+        outcome["status"] = "contract-violation"
+        outcome["sc_reason"] = report.witnesses[0].describe()
+    return outcome
+
+
 def execute_cell(cell: CampaignCell) -> dict:
     """Run one cell and return its pure-data outcome payload.
 
@@ -64,7 +104,13 @@ def execute_cell(cell: CampaignCell) -> dict:
     a crash reproduces the identical outcome.  Never raises for a
     *simulation* failure — typed errors become ``status="error"``
     payloads; an untyped exception is a harness bug and propagates.
+
+    ``contracts`` cells never touch the simulator: they statically
+    check a recorded trace against the component contracts.
     """
+    if cell.workload.get("kind") == "contracts":
+        return _execute_contracts_cell(cell)
+
     from repro.faults.injector import FaultInjector
     from repro.faults.plan import FaultPlan, crash_script_from
     from repro.params import NAMED_CONFIGS
@@ -149,7 +195,13 @@ def _minimize_failures(
     options: RunnerOptions,
     say: Callable[[str], None],
 ) -> None:
-    """Re-record + ddmin-minimize failing cells into ``traces/``."""
+    """Re-record + ddmin-minimize failing cells into ``traces/``.
+
+    Each re-recorded failure is also contract-checked so the progress
+    log names the component whose ordering contract broke (localized
+    witnesses), not just the whole-run verdict.
+    """
+    from repro.contracts.checker import check_trace, localized_summary
     from repro.replay.minimizer import minimize_trace
     from repro.replay.recorder import record_run
 
@@ -180,6 +232,19 @@ def _minimize_failures(
                 crashes=list(cell.fault.crashes) or None,
             )
             store.save_trace(recorded.trace, cell.key)
+            contract_report = check_trace(recorded.trace)
+            say("  " + localized_summary(contract_report, limit=1))
+            store.append(
+                {
+                    "type": "contracts",
+                    "key": cell.key,
+                    "ok": contract_report.ok,
+                    "failing": list(contract_report.failing_components),
+                    "witnesses": [
+                        w.payload() for w in contract_report.witnesses[:10]
+                    ],
+                }
+            )
             minimized = minimize_trace(recorded.trace, budget=MINIMIZE_BUDGET)
             store.save_trace(minimized.trace, cell.key, minimized=True)
             say(f"  {minimized.describe()}")

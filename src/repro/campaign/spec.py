@@ -15,13 +15,24 @@ deliberately omit ``instructions``/``seed`` — the campaign's shared
 instruction budget and the cell's seed are filled in at expansion, so
 one workload entry fans out across every seed.
 
+A third kind runs no simulation at all: ``{"kind": "contracts",
+"trace": "run.jsonl", "component": "bdm"}`` statically checks one
+component's ordering contract (or ``"all"``) against a recorded trace
+(:mod:`repro.contracts`), so per-component checks of a big trace
+parallelize across the campaign runner like any other cell.  Contract
+cells ignore the cell seed and config (static analysis has neither);
+their identity is the trace + component, so the queue's dedup collapses
+the config × seed fan-out to one cell each.
+
 The CLI accepts shorthand strings and expands them here:
 
 * ``litmus`` — every litmus test under the default stagger grid;
 * ``litmus:SB`` — one test under the default stagger grid;
 * ``litmus:SB/1-60`` — one test under one stagger;
 * ``app:fft`` — one synthetic application;
-* ``apps`` — the first three synthetic applications (the chaos set).
+* ``apps`` — the first three synthetic applications (the chaos set);
+* ``contracts:TRACE.jsonl`` — one cell per component contract (plus the
+  composition obligation) over a recorded trace.
 """
 
 from __future__ import annotations
@@ -179,9 +190,22 @@ def expand_workload_arg(arg: str) -> List[dict]:
                 f"unknown application {app!r} (known: {', '.join(ALL_APPS)})"
             )
         return [{"kind": "app", "app": app}]
+    if text.startswith("contracts:"):
+        from repro.contracts.checker import CHECKABLE
+
+        trace = text[len("contracts:"):]
+        if not trace:
+            raise CampaignError(
+                "contracts workload needs a trace path (contracts:TRACE.jsonl)"
+            )
+        return [
+            {"kind": "contracts", "trace": trace, "component": component}
+            for component in CHECKABLE
+        ]
     raise CampaignError(
         f"unknown workload shorthand {arg!r} "
-        "(expected litmus, litmus:NAME[/S1-S2], app:NAME, or apps)"
+        "(expected litmus, litmus:NAME[/S1-S2], app:NAME, apps, "
+        "or contracts:TRACE.jsonl)"
     )
 
 
@@ -244,6 +268,19 @@ class CampaignSpec:
                 if workload.get("app") not in ALL_APPS:
                     raise CampaignError(
                         f"unknown application {workload.get('app')!r}"
+                    )
+            elif kind == "contracts":
+                from repro.contracts.checker import CHECKABLE
+
+                if not workload.get("trace"):
+                    raise CampaignError(
+                        "contracts workload needs a 'trace' path"
+                    )
+                component = workload.get("component", "all")
+                if component != "all" and component not in CHECKABLE:
+                    raise CampaignError(
+                        f"unknown contract component {component!r} "
+                        f"(known: all, {', '.join(CHECKABLE)})"
                     )
             else:
                 raise CampaignError(f"unknown workload kind {kind!r}")

@@ -1,0 +1,64 @@
+"""Static per-component ordering contracts with a compositional SC proof.
+
+The package decomposes the paper's SC argument the way RealityCheck
+decomposes memory-consistency verification: each component (arbiter,
+BDM, DirBDM, network, recovery) carries a declarative ordering contract
+checked *locally* against its slice of a recorded trace, and a
+composition obligation replays only the interface events to certify
+that the contracts jointly imply end-to-end SC.  A Qadeer-style bounded
+model checker exhaustively enumerates the commit protocol at a tiny
+configuration to prove the contract specs themselves are neither
+vacuous nor violated.
+
+Entry points:
+
+* :func:`repro.contracts.checker.check_trace` — all verdicts for one trace;
+* :func:`repro.contracts.modelcheck.verify_contracts` — the static spec check;
+* ``python -m repro analyze contracts`` — the CLI.
+"""
+
+from repro.contracts.checker import (
+    CHECKABLE,
+    ContractError,
+    ContractReport,
+    check_records,
+    check_trace,
+    localized_summary,
+    render_report,
+)
+from repro.contracts.composition import CompositionResult, compose
+from repro.contracts.dsl import (
+    Clause,
+    ClauseContext,
+    ClauseVerdict,
+    Contract,
+    ContractVerdict,
+    EventSelector,
+    Witness,
+)
+from repro.contracts.library import ALL_CONTRACTS, COMPONENTS, contract_for
+from repro.contracts.slicer import component_streams, slice_trace
+
+__all__ = [
+    "ALL_CONTRACTS",
+    "CHECKABLE",
+    "COMPONENTS",
+    "Clause",
+    "ClauseContext",
+    "ClauseVerdict",
+    "CompositionResult",
+    "Contract",
+    "ContractError",
+    "ContractReport",
+    "ContractVerdict",
+    "EventSelector",
+    "Witness",
+    "check_records",
+    "check_trace",
+    "component_streams",
+    "compose",
+    "contract_for",
+    "localized_summary",
+    "render_report",
+    "slice_trace",
+]

@@ -1,0 +1,232 @@
+"""The composition obligation: interface events imply end-to-end SC.
+
+The compositional argument: if the arbiter contract holds (commits are
+totally ordered and per-processor order embeds into it), the BDM/DirBDM
+contracts hold (every chunk that observed a conflicting W before its own
+serialization was squashed and re-executed), and the network contract
+holds (committed Ws reach every sharer in order), then replaying the
+chunks' op logs *in serialize order* is a legal SC execution — each
+chunk is atomic, processors appear in program order, and every load sees
+the latest store of the replay.  So SC reduces to a check over interface
+events only: walk ``commit.serialize`` records, replay their ``ops``.
+
+That is exactly what this module does — no simulator execution, chunk
+granularity, O(ops) — and by construction it examines the same op
+stream :mod:`repro.verify.sc_checker` checks dynamically (the history
+log is populated at serialization from the same chunk op logs).  The two
+must therefore agree on every run; :func:`compose` cross-checks against
+the footer's recorded ``sc_ok`` verdict and reports any disagreement as
+a finding in its own right (agree-or-fail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.contracts.dsl import Witness
+from repro.replay.schema import TraceRecord
+
+COMPOSITION_COMPONENT = "composition"
+
+
+@dataclass(frozen=True)
+class CompositionResult:
+    """Outcome of replaying the interface events of one trace."""
+
+    evaluated: bool
+    reason: str
+    sc_ok: Optional[bool]            # this checker's SC verdict (None: unevaluable)
+    footer_sc_ok: Optional[bool]     # the dynamic sc_checker verdict from the footer
+    agreement: Optional[str]         # "agree" | "disagree" | None (not comparable)
+    chunks: int
+    ops: int
+    witnesses: Tuple[Witness, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.witnesses
+
+    def payload(self) -> dict:
+        return {
+            "component": COMPOSITION_COMPONENT,
+            "ok": self.ok,
+            "evaluated": self.evaluated,
+            "reason": self.reason,
+            "sc_ok": self.sc_ok,
+            "footer_sc_ok": self.footer_sc_ok,
+            "agreement": self.agreement,
+            "chunks": self.chunks,
+            "ops": self.ops,
+            "witnesses": [w.payload() for w in self.witnesses],
+        }
+
+
+def _unevaluable(reason: str, footer_sc_ok: Optional[bool]) -> CompositionResult:
+    return CompositionResult(
+        evaluated=False,
+        reason=reason,
+        sc_ok=None,
+        footer_sc_ok=footer_sc_ok,
+        agreement=None,
+        chunks=0,
+        ops=0,
+        witnesses=(),
+    )
+
+
+def compose(
+    records: Sequence[TraceRecord],
+    footer: Optional[dict] = None,
+) -> CompositionResult:
+    """Certify SC from interface events alone (chunk-granular replay).
+
+    Mirrors :mod:`repro.verify.sc_checker` exactly: per-processor
+    program indices must never regress, and every load must return the
+    latest store of the serialize-order replay (memory defaults to 0).
+    Stops at the first violation, like the dynamic checker.
+    """
+    footer = footer or {}
+    footer_sc_ok = footer.get("sc_ok")
+    if footer.get("records_elided"):
+        # The record stream is incomplete; interface replay would be
+        # checking a prefix while the footer judged the whole run.
+        return _unevaluable(
+            "trace elided records (stream capped); interface replay "
+            "would cover only a prefix",
+            footer_sc_ok,
+        )
+
+    serials = [r for r in records if r.ev == "commit.serialize"]
+    if not serials:
+        return _unevaluable(
+            "no interface events (not a bulk-commit trace)", footer_sc_ok
+        )
+    enriched = [r for r in serials if "ops" in r.data]
+    if not enriched:
+        return _unevaluable(
+            "trace predates interface enrichment "
+            "(commit.serialize records carry no op logs)",
+            footer_sc_ok,
+        )
+
+    witnesses: List[Witness] = []
+    memory: Dict[int, int] = {}
+    last_index: Dict[int, int] = {}
+    total_ops = 0
+    for record in enriched:
+        proc = record.p
+        for op in record.data["ops"]:
+            is_store, addr, value, program_index = op
+            total_ops += 1
+            previous = last_index.get(proc, -1)
+            if program_index < previous:
+                witnesses.append(
+                    Witness(
+                        component=COMPOSITION_COMPONENT,
+                        clause="program-order",
+                        message=(
+                            f"proc {proc} op at program index {program_index} "
+                            f"serialized after index {previous} (chunk commit "
+                            "order broke program order)"
+                        ),
+                        events=(record.seq,),
+                        data={
+                            "proc": proc,
+                            "program_index": program_index,
+                            "previous": previous,
+                        },
+                    )
+                )
+                break
+            last_index[proc] = program_index
+            if is_store:
+                memory[addr] = value
+            else:
+                expected = memory.get(addr, 0)
+                if value != expected:
+                    witnesses.append(
+                        Witness(
+                            component=COMPOSITION_COMPONENT,
+                            clause="load-value",
+                            message=(
+                                f"proc {proc} load of word {addr} observed "
+                                f"{value} but the serialize-order replay "
+                                f"holds {expected} (chunk atomicity or "
+                                "write propagation broke)"
+                            ),
+                            events=(record.seq,),
+                            data={
+                                "proc": proc,
+                                "addr": addr,
+                                "observed": value,
+                                "expected": expected,
+                            },
+                        )
+                    )
+                    break
+        if witnesses:
+            break
+
+    sc_ok = not witnesses
+
+    # Cross-check the replayed final memory against the footer image —
+    # the interface events must fully explain the end state.
+    if sc_ok and footer.get("error") is None and "final_memory" in footer:
+        expected_memory = {
+            str(addr): value for addr, value in memory.items() if value != 0
+        }
+        recorded = {
+            str(addr): value
+            for addr, value in dict(footer["final_memory"] or {}).items()
+            if value != 0
+        }
+        if expected_memory != recorded:
+            differing = sorted(
+                set(expected_memory) ^ set(recorded)
+                | {
+                    a
+                    for a in set(expected_memory) & set(recorded)  # detlint: ok[DET001] — result is a set that is sorted before use
+                    if expected_memory[a] != recorded[a]
+                }
+            )
+            witnesses.append(
+                Witness(
+                    component=COMPOSITION_COMPONENT,
+                    clause="final-memory",
+                    message=(
+                        "interface replay final memory disagrees with the "
+                        f"recorded image at word(s) {differing[:8]} "
+                        "(some memory update bypassed commit serialization)"
+                    ),
+                    data={"words": differing},
+                )
+            )
+
+    agreement: Optional[str] = None
+    if footer_sc_ok is not None and footer.get("error") is None:
+        agreement = "agree" if sc_ok == bool(footer_sc_ok) else "disagree"
+        if agreement == "disagree":
+            witnesses.append(
+                Witness(
+                    component=COMPOSITION_COMPONENT,
+                    clause="sc-agreement",
+                    message=(
+                        f"composition checker says sc_ok={sc_ok} but the "
+                        f"dynamic sc_checker recorded sc_ok={footer_sc_ok} "
+                        "(the checkers must agree on every run)"
+                    ),
+                    data={"composed": sc_ok, "dynamic": bool(footer_sc_ok)},
+                )
+            )
+
+    return CompositionResult(
+        evaluated=True,
+        reason="interface replay over commit.serialize op logs",
+        sc_ok=sc_ok,
+        footer_sc_ok=footer_sc_ok,
+        agreement=agreement,
+        chunks=len(enriched),
+        ops=total_ops,
+        witnesses=tuple(witnesses),
+    )

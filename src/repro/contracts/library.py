@@ -1,0 +1,678 @@
+"""The five shipped component contracts.
+
+Each contract mirrors one leg of the paper's SC argument, checked
+locally against the component's own slice of the trace:
+
+* **arbiter** — commits form a total order: each commit id serializes
+  at most once, per-processor chunk order embeds into the serialize
+  order, and the grant epoch is monotone (any increase must be explained
+  by a recorded arbiter crash).
+* **bdm** — bulk disambiguation is sound and complete: every squash is
+  justified by a delivered W that signature-collides with the victim (or
+  an injected spurious-squash fault), every signature collision reported
+  at a delivery is followed by the squashes it mandates, and the
+  signatures never miss a true line conflict (over-approximation only).
+* **dirbdm** — Table 1 case actions: every delivered invalidation was
+  placed on some home directory's expansion list for that committer
+  (storm faults excused), a committer never invalidates itself, and
+  expansions only happen for processors that have serialized.
+* **network** — per-class FIFO delivery: each victim observes committed
+  Ws in serialize order unless a recorded fault touched one of the two
+  commits' message legs (or an arbiter crash forced recovery re-sends);
+  duplicate deliveries never reach a BDM; deliveries follow serialization.
+* **recovery** — epochs only move forward: crash → reconstruct →
+  recovered per target in order, strictly increasing crash epochs, and
+  no processor accepts a grant from a dead epoch after readmission.
+
+Traces recorded before the PR that enriched the replay schema lack the
+``sig_conflicts``/``epoch``/``ops`` data fields; the affected clauses
+simply never activate on such traces (vacuous, reported as such) rather
+than failing or guessing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.contracts.dsl import Clause, ClauseContext, Contract, EventSelector
+from repro.replay.schema import TraceRecord
+
+#: Canonical component names, in report order.
+COMPONENTS = ("arbiter", "bdm", "dirbdm", "network", "recovery")
+
+_RECOVERY_EVENTS = ("arb.crash", "arb.reconstruct", "arb.recovered")
+
+_COMMIT_LABEL = re.compile(r"^commit(\d+)\.")
+
+
+# ----------------------------------------------------------------------
+# Shared stream indexing helpers
+# ----------------------------------------------------------------------
+
+def _single_epoch(record: TraceRecord) -> Optional[int]:
+    """The record's epoch when it is a single-arbiter lease, else None."""
+    epoch = record.data.get("epoch")
+    if isinstance(epoch, (list, tuple)) and len(epoch) == 1:
+        return int(epoch[0])
+    return None
+
+
+def _squash_fault_victims(stream: Sequence[TraceRecord]) -> Set[Tuple[int, float]]:
+    """``(victim, time)`` pairs excused by injected spurious squashes."""
+    excused: Set[Tuple[int, float]] = set()
+    for record in stream:
+        if record.ev == "fault" and record.data.get("kind") == "squash":
+            for victim in record.data.get("victims", ()):
+                excused.add((victim, record.t))
+    return excused
+
+
+def _fault_touched_commits(stream: Sequence[TraceRecord]) -> Set[int]:
+    """Commit ids whose message legs a recorded fault perturbed."""
+    touched: Set[int] = set()
+    for record in stream:
+        if record.ev != "fault":
+            continue
+        match = _COMMIT_LABEL.match(str(record.data.get("label") or ""))
+        if match:
+            touched.add(int(match.group(1)))
+    return touched
+
+
+# ----------------------------------------------------------------------
+# Arbiter: total commit order + epoch monotonicity
+# ----------------------------------------------------------------------
+
+def _arb_serialize_unique(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    seen: Dict[int, int] = {}
+    for record in stream:
+        if record.ev != "commit.serialize":
+            continue
+        commit = record.data.get("commit")
+        if commit is None:
+            continue
+        ctx.activate()
+        if commit in seen:
+            ctx.witness(
+                f"commit {commit} serialized twice (total order broken)",
+                events=(seen[commit], record.seq),
+                commit=commit,
+            )
+        else:
+            seen[commit] = record.seq
+
+
+def _arb_per_proc_order(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    last: Dict[int, Tuple[int, int]] = {}
+    for record in stream:
+        if record.ev != "commit.serialize" or record.p is None:
+            continue
+        chunk = record.data.get("chunk")
+        if chunk is None:
+            continue
+        ctx.activate()
+        previous = last.get(record.p)
+        if previous is not None and chunk <= previous[1]:
+            ctx.witness(
+                f"proc {record.p} serialized chunk {chunk} after chunk "
+                f"{previous[1]} (program order must embed into the total order)",
+                events=(previous[0], record.seq),
+                proc=record.p,
+                chunk=chunk,
+                previous=previous[1],
+            )
+        last[record.p] = (record.seq, chunk)
+
+
+def _arb_epoch_monotone(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    crashes = 0
+    last: Optional[Tuple[int, int]] = None
+    for record in stream:
+        if record.ev == "arb.crash":
+            crashes += 1
+            continue
+        if record.ev != "commit.serialize":
+            continue
+        epoch = _single_epoch(record)
+        if epoch is None:
+            continue
+        ctx.activate()
+        if last is not None:
+            if epoch < last[1]:
+                ctx.witness(
+                    f"serialize epoch regressed from {last[1]} to {epoch}",
+                    events=(last[0], record.seq),
+                    epoch=epoch,
+                    previous=last[1],
+                )
+            elif epoch > last[1] and crashes == 0:
+                ctx.witness(
+                    f"serialize epoch advanced from {last[1]} to {epoch} "
+                    "with no arbiter crash on record",
+                    events=(last[0], record.seq),
+                    epoch=epoch,
+                    previous=last[1],
+                )
+        last = (record.seq, epoch)
+
+
+ARBITER_CONTRACT = Contract(
+    component="arbiter",
+    description="total commit order; epoch monotone across recovery",
+    selector=EventSelector(kinds=("commit.serialize", "arb.crash")),
+    clauses=(
+        Clause(
+            "serialize-unique",
+            "each commit id serializes exactly once",
+            _arb_serialize_unique,
+        ),
+        Clause(
+            "per-proc-order",
+            "per-processor chunk ids strictly increase in serialize order",
+            _arb_per_proc_order,
+        ),
+        Clause(
+            "epoch-monotone",
+            "serialize epochs never regress; increases require a crash",
+            _arb_epoch_monotone,
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# BDM: disambiguation soundness and completeness
+# ----------------------------------------------------------------------
+
+def _squash_index(
+    stream: Sequence[TraceRecord],
+) -> Dict[Tuple[int, float], List[Tuple[int, int]]]:
+    """``(proc, time) -> [(seq, chunk_id), ...]`` over squash records."""
+    table: Dict[Tuple[int, float], List[Tuple[int, int]]] = {}
+    for record in stream:
+        if record.ev == "chunk.squash" and record.p is not None:
+            table.setdefault((record.p, record.t), []).append(
+                (record.seq, record.data.get("chunk"))
+            )
+    return table
+
+
+def _bdm_enriched(stream: Sequence[TraceRecord]) -> bool:
+    """True when the trace carries recomputed conflict sets.
+
+    Traces recorded before the enrichment have deliveries without
+    ``sig_conflicts``; BDM clauses are unevaluable there and must stay
+    vacuous instead of mis-firing.
+    """
+    deliveries = [r for r in stream if r.ev == "inv.deliver"]
+    if not deliveries:
+        return True
+    return any("sig_conflicts" in r.data for r in deliveries)
+
+
+def _bdm_squash_justified(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    if not _bdm_enriched(stream):
+        return
+    delivered: Dict[Tuple[int, float], List[Tuple[int, List[int]]]] = {}
+    for record in stream:
+        if record.ev == "inv.deliver" and "sig_conflicts" in record.data:
+            delivered.setdefault((record.p, record.t), []).append(
+                (record.seq, list(record.data["sig_conflicts"]))
+            )
+    excused = _squash_fault_victims(stream)
+    for record in stream:
+        if record.ev != "chunk.squash" or record.p is None:
+            continue
+        chunk = record.data.get("chunk")
+        ctx.activate()
+        entries = delivered.get((record.p, record.t), ())
+        justified = any(
+            sig and seq < record.seq and min(sig) <= chunk
+            for seq, sig in entries
+        )
+        if not justified and (record.p, record.t) in excused:
+            justified = True
+        if not justified:
+            ctx.witness(
+                f"proc {record.p} squashed chunk {chunk} with no delivered "
+                "signature conflict and no injected-squash fault to justify it",
+                events=(record.seq,),
+                proc=record.p,
+                chunk=chunk,
+            )
+
+
+def _bdm_conflicts_squashed(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    squashes = _squash_index(stream)
+    for record in stream:
+        if record.ev != "inv.deliver":
+            continue
+        sig = record.data.get("sig_conflicts")
+        if not sig:
+            continue
+        ctx.activate()
+        squashed = {
+            chunk
+            for seq, chunk in squashes.get((record.p, record.t), ())
+            if seq > record.seq
+        }
+        missing = [chunk for chunk in sig if chunk not in squashed]
+        if missing:
+            ctx.witness(
+                f"proc {record.p}: delivery of commit "
+                f"{record.data.get('commit')} signature-collided with "
+                f"chunk(s) {missing} but no squash followed "
+                "(disambiguation under-reported)",
+                events=(record.seq,),
+                proc=record.p,
+                missing=missing,
+                commit=record.data.get("commit"),
+            )
+
+
+def _bdm_signature_sound(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    for record in stream:
+        if record.ev != "inv.deliver":
+            continue
+        true_conflicts = record.data.get("true_conflicts")
+        sig = record.data.get("sig_conflicts")
+        if true_conflicts is None or sig is None:
+            continue
+        if not true_conflicts:
+            continue
+        ctx.activate()
+        missing = [chunk for chunk in true_conflicts if chunk not in sig]
+        if missing:
+            ctx.witness(
+                f"proc {record.p}: chunk(s) {missing} truly conflict with "
+                f"the delivered W of commit {record.data.get('commit')} but "
+                "the signatures reported no collision (unsound signatures)",
+                events=(record.seq,),
+                proc=record.p,
+                missing=missing,
+                commit=record.data.get("commit"),
+            )
+
+
+BDM_CONTRACT = Contract(
+    component="bdm",
+    description="every squash justified by a signature conflict; none missed",
+    selector=EventSelector(kinds=("inv.deliver", "chunk.squash", "fault")),
+    clauses=(
+        Clause(
+            "squash-justified",
+            "each squash has a delivered W∩R/W∩W conflict or injected fault",
+            _bdm_squash_justified,
+        ),
+        Clause(
+            "conflicts-squashed",
+            "each reported signature collision is followed by its squashes",
+            _bdm_conflicts_squashed,
+        ),
+        Clause(
+            "signature-sound",
+            "true line conflicts are always signature-visible",
+            _bdm_signature_sound,
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# DirBDM: Table 1 case actions
+# ----------------------------------------------------------------------
+
+def _dir_expansion_covers(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    coverage: Dict[int, Set[int]] = {}
+    storm_excused: Set[int] = set()
+    for record in stream:
+        if record.ev == "fault" and record.data.get("kind") == "storm":
+            storm_excused.update(record.data.get("victims", ()))
+        elif record.ev == "commit.serialize" and record.p is not None:
+            # A processor's next commit opens a fresh expansion window
+            # (per-processor commits are FIFO: the previous commit's
+            # deliveries all precede this serialize).
+            coverage[record.p] = set()
+        elif record.ev == "dir.expand":
+            committer = record.data.get("committer")
+            coverage.setdefault(committer, set()).update(
+                record.data.get("invalidation_list", ())
+            )
+        elif record.ev == "inv.deliver":
+            committer = record.data.get("committer")
+            if committer is None:
+                continue
+            ctx.activate()
+            if (
+                record.p not in coverage.get(committer, set())
+                and record.p not in storm_excused
+            ):
+                ctx.witness(
+                    f"W of proc {committer} delivered to proc {record.p}, "
+                    "which no directory expansion placed on the invalidation "
+                    "list (Table 1 action mismatch)",
+                    events=(record.seq,),
+                    committer=committer,
+                    victim=record.p,
+                )
+
+
+def _dir_no_self_invalidation(
+    stream: Sequence[TraceRecord], ctx: ClauseContext
+) -> None:
+    for record in stream:
+        if record.ev != "inv.deliver":
+            continue
+        ctx.activate()
+        if record.p == record.data.get("committer"):
+            ctx.witness(
+                f"proc {record.p} received its own committed W back",
+                events=(record.seq,),
+                proc=record.p,
+            )
+
+
+def _dir_expand_follows_commit(
+    stream: Sequence[TraceRecord], ctx: ClauseContext
+) -> None:
+    serialized: Set[int] = set()
+    for record in stream:
+        if record.ev == "commit.serialize" and record.p is not None:
+            serialized.add(record.p)
+        elif record.ev == "dir.expand":
+            ctx.activate()
+            committer = record.data.get("committer")
+            if committer not in serialized:
+                ctx.witness(
+                    f"directory {record.data.get('dir')} expanded a W for "
+                    f"proc {committer}, which has not serialized any commit",
+                    events=(record.seq,),
+                    committer=committer,
+                )
+
+
+DIRBDM_CONTRACT = Contract(
+    component="dirbdm",
+    description="directory expansions match Table 1 case actions",
+    selector=EventSelector(
+        kinds=("commit.serialize", "dir.expand", "inv.deliver", "fault")
+    ),
+    clauses=(
+        Clause(
+            "expansion-covers-victims",
+            "every delivery victim is on some expansion list (storms excused)",
+            _dir_expansion_covers,
+        ),
+        Clause(
+            "no-self-invalidation",
+            "a committer never receives its own W",
+            _dir_no_self_invalidation,
+        ),
+        Clause(
+            "expansion-follows-commit",
+            "expansions only happen for serialized committers",
+            _dir_expand_follows_commit,
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Network: per-class FIFO delivery
+# ----------------------------------------------------------------------
+
+def _net_per_victim_fifo(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    touched = _fault_touched_commits(stream)
+    crashed = any(r.ev == "arb.crash" for r in stream)
+    position: Dict[int, int] = {}
+    order = 0
+    last: Dict[int, Tuple[int, int, int]] = {}
+    for record in stream:
+        if record.ev == "commit.serialize":
+            commit = record.data.get("commit")
+            if commit is not None:
+                position[commit] = order
+                order += 1
+        elif record.ev == "inv.deliver":
+            commit = record.data.get("commit")
+            if commit is None or commit not in position:
+                continue
+            previous = last.get(record.p)
+            last[record.p] = (record.seq, commit, position[commit])
+            if previous is None:
+                continue
+            ctx.activate()
+            if position[commit] < previous[2]:
+                if commit in touched or previous[1] in touched or crashed:
+                    continue  # a recorded perturbation explains the reorder
+                ctx.witness(
+                    f"proc {record.p} received commit {commit} after commit "
+                    f"{previous[1]} though it serialized earlier "
+                    "(per-class FIFO violated with no recorded fault)",
+                    events=(previous[0], record.seq),
+                    proc=record.p,
+                    commit=commit,
+                    after=previous[1],
+                )
+
+
+def _net_no_duplicate_delivery(
+    stream: Sequence[TraceRecord], ctx: ClauseContext
+) -> None:
+    seen: Dict[Tuple[int, int], int] = {}
+    for record in stream:
+        if record.ev != "inv.deliver":
+            continue
+        commit = record.data.get("commit")
+        if commit is None:
+            continue
+        ctx.activate()
+        key = (commit, record.p)
+        if key in seen:
+            ctx.witness(
+                f"commit {commit} delivered twice to proc {record.p} "
+                "(duplicate suppression failed)",
+                events=(seen[key], record.seq),
+                commit=commit,
+                proc=record.p,
+            )
+        else:
+            seen[key] = record.seq
+
+
+def _net_delivery_after_serialize(
+    stream: Sequence[TraceRecord], ctx: ClauseContext
+) -> None:
+    serialized: Dict[int, int] = {}
+    for record in stream:
+        if record.ev == "commit.serialize":
+            commit = record.data.get("commit")
+            if commit is not None:
+                serialized.setdefault(commit, record.seq)
+        elif record.ev == "inv.deliver":
+            commit = record.data.get("commit")
+            if commit is None:
+                continue
+            ctx.activate()
+            if commit not in serialized:
+                ctx.witness(
+                    f"commit {commit} delivered to proc {record.p} before "
+                    "(or without) its serialization",
+                    events=(record.seq,),
+                    commit=commit,
+                    proc=record.p,
+                )
+
+
+NETWORK_CONTRACT = Contract(
+    component="network",
+    description="per-class FIFO delivery of committed Ws",
+    selector=EventSelector(
+        kinds=("commit.serialize", "inv.deliver", "fault", "arb.crash")
+    ),
+    clauses=(
+        Clause(
+            "per-victim-fifo",
+            "each victim observes commits in serialize order (faults excused)",
+            _net_per_victim_fifo,
+        ),
+        Clause(
+            "no-duplicate-delivery",
+            "no (commit, victim) pair is delivered twice",
+            _net_no_duplicate_delivery,
+        ),
+        Clause(
+            "delivery-after-serialize",
+            "deliveries follow their commit's serialization",
+            _net_delivery_after_serialize,
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Recovery: epochs only move forward
+# ----------------------------------------------------------------------
+
+def _rec_lifecycle(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    state: Dict[str, str] = {}
+    for record in stream:
+        if record.ev not in _RECOVERY_EVENTS:
+            continue
+        target = str(record.data.get("target"))
+        if target == "global":
+            # The G-arbiter's W cache is pure acceleration state: its
+            # crash and recovery are emitted in the same cycle with no
+            # reconstruct phase and no incarnation number (epoch 0).
+            continue
+        ctx.activate()
+        current = state.get(target, "normal")
+        if record.ev == "arb.crash":
+            if current == "down":
+                ctx.witness(
+                    f"{target} crashed while already down",
+                    events=(record.seq,),
+                    target=target,
+                )
+            state[target] = "down"
+        elif record.ev == "arb.reconstruct":
+            if current != "down":
+                ctx.witness(
+                    f"{target} reconstructed without a preceding crash",
+                    events=(record.seq,),
+                    target=target,
+                )
+            state[target] = "reconstructing"
+        else:  # arb.recovered
+            if current != "reconstructing":
+                ctx.witness(
+                    f"{target} reported recovered without reconstructing",
+                    events=(record.seq,),
+                    target=target,
+                )
+            state[target] = "normal"
+
+
+def _rec_epoch_increasing(stream: Sequence[TraceRecord], ctx: ClauseContext) -> None:
+    last: Dict[str, Tuple[int, int]] = {}
+    for record in stream:
+        if record.ev != "arb.crash":
+            continue
+        epoch = record.data.get("epoch")
+        if epoch is None:
+            continue
+        target = str(record.data.get("target"))
+        if target == "global":
+            continue  # the G-arbiter cache has no incarnation number
+        ctx.activate()
+        previous = last.get(target)
+        if previous is not None and epoch <= previous[1]:
+            ctx.witness(
+                f"{target} crash epoch went {previous[1]} -> {epoch} "
+                "(must strictly increase)",
+                events=(previous[0], record.seq),
+                target=target,
+                epoch=epoch,
+            )
+        last[target] = (record.seq, epoch)
+
+
+def _rec_no_dead_epoch_grant(
+    stream: Sequence[TraceRecord], ctx: ClauseContext
+) -> None:
+    targets = {
+        str(r.data.get("target"))
+        for r in stream
+        if r.ev in _RECOVERY_EVENTS and str(r.data.get("target")) != "global"
+    }
+    if len(targets) > 1:
+        # Distributed recovery: grant leases span multiple arbiters and
+        # cannot be attributed to one target's epoch from the stream.
+        return
+    current: Optional[int] = None
+    for record in stream:
+        if record.ev in _RECOVERY_EVENTS:
+            if str(record.data.get("target")) == "global":
+                continue  # the G-arbiter cache has no epoch
+            epoch = record.data.get("epoch")
+            if epoch is not None:
+                current = epoch if current is None else max(current, epoch)
+        elif record.ev == "chunk.grant" and current is not None:
+            epoch = _single_epoch(record)
+            if epoch is None:
+                continue
+            ctx.activate()
+            if epoch < current:
+                ctx.witness(
+                    f"proc {record.p} accepted a grant from dead epoch "
+                    f"{epoch} after readmission to epoch {current}",
+                    events=(record.seq,),
+                    proc=record.p,
+                    epoch=epoch,
+                    current=current,
+                )
+
+
+RECOVERY_CONTRACT = Contract(
+    component="recovery",
+    description="no grant from a dead epoch observed after readmission",
+    selector=EventSelector(
+        kinds=_RECOVERY_EVENTS + ("chunk.grant",)
+    ),
+    clauses=(
+        Clause(
+            "lifecycle-order",
+            "crash -> reconstruct -> recovered, in order, per target",
+            _rec_lifecycle,
+        ),
+        Clause(
+            "epoch-increasing",
+            "crash epochs strictly increase per target",
+            _rec_epoch_increasing,
+        ),
+        Clause(
+            "no-dead-epoch-grant",
+            "post-crash grants always carry the live epoch",
+            _rec_no_dead_epoch_grant,
+        ),
+    ),
+)
+
+
+ALL_CONTRACTS: Tuple[Contract, ...] = (
+    ARBITER_CONTRACT,
+    BDM_CONTRACT,
+    DIRBDM_CONTRACT,
+    NETWORK_CONTRACT,
+    RECOVERY_CONTRACT,
+)
+
+
+def contract_for(component: str) -> Contract:
+    for contract in ALL_CONTRACTS:
+        if contract.component == component:
+            return contract
+    raise KeyError(
+        f"unknown component {component!r} (known: {', '.join(COMPONENTS)})"
+    )

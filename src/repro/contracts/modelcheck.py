@@ -1,0 +1,526 @@
+"""Bounded protocol model checking of the shipped contracts (Qadeer-style).
+
+Exhaustively enumerates every interleaving of an *abstract* chunk-commit
+protocol at a tiny configuration — 2 processors × 2 chunks each × 1
+address — directly from the protocol transition rules below.  No
+simulator execution is involved: each complete interleaving yields a
+synthetic record stream in the replay schema, and every shipped contract
+is checked against it.  The model checker then asserts two things about
+the contract *specifications* themselves:
+
+1. **Non-vacuity** — every clause of every contract activates on at
+   least one legal interleaving (a clause whose antecedent never fires
+   proves nothing, however green it looks);
+2. **Soundness of the spec** — no clause is violated by any legal
+   interleaving (the contracts admit every behaviour the protocol
+   allows), while each *seeded mutation* of the protocol (one per
+   component) produces at least one interleaving the targeted contract
+   rejects (the contracts actually have teeth).
+
+The abstract protocol mirrors the simulator's commit path: every chunk
+is ``load x; store x`` so all chunks conflict (1 address, maximal
+contention); the arbiter admits one W at a time, serializes it,
+expansion lists every other processor, victims squash their active
+chunk on delivery, completion frees the arbiter.  A crash extension
+(budget 1) models the epoch/lease recovery protocol.
+
+Because all conflicts are real and the arbiter blocks conflicting
+requests while a W is in flight, a chunk's loads can legally be valued
+at serialization time — any stale read would have been squashed first.
+That makes the synthetic ``ops`` logs SC by construction on legal
+paths, which the composition obligation independently certifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.contracts.checker import check_records
+from repro.contracts.dsl import Witness
+from repro.contracts.library import ALL_CONTRACTS
+from repro.errors import ReproError
+from repro.replay.schema import TraceRecord
+
+#: Seeded protocol mutations and the component contract each must trip.
+MUTATIONS: Dict[str, str] = {
+    "double-serialize": "arbiter",
+    "skip-squash": "bdm",
+    "phantom-victim": "dirbdm",
+    "dup-inv": "network",
+    "dead-epoch-grant": "recovery",
+}
+
+_ARBITER = "arbiter0"
+
+
+class ModelCheckError(ReproError):
+    """The bounded enumeration was asked for an impossible configuration."""
+
+
+# ----------------------------------------------------------------------
+# Abstract protocol state
+# ----------------------------------------------------------------------
+
+class _State:
+    """One explored protocol state (hashable via :meth:`key`)."""
+
+    __slots__ = (
+        "epoch", "mode", "crash_budget", "procs", "inflight",
+        "next_commit", "memory", "mut_used",
+    )
+
+    def __init__(self, procs: int, crash_budget: int):
+        self.epoch = 1
+        self.mode = "normal"            # normal | down | reconstructing
+        self.crash_budget = crash_budget
+        # per proc: [committed, chunk_counter, head]; head is None or
+        # (chunk_id, status) with status in ("exec", "granted").
+        self.procs: List[list] = [[0, 0, None] for _ in range(procs)]
+        # None or dict(commit, proc, chunk, lease_epoch, grant_pending,
+        # invs) — at most one W in flight (single address: everything
+        # conflicts, so the arbiter admits one commit at a time).
+        self.inflight: Optional[dict] = None
+        self.next_commit = 1
+        self.memory = 0                 # the single word's committed value
+        self.mut_used = False           # one-shot mutations fired already
+
+    def clone(self) -> "_State":
+        dup = _State.__new__(_State)
+        dup.epoch = self.epoch
+        dup.mode = self.mode
+        dup.crash_budget = self.crash_budget
+        dup.procs = [list(entry) for entry in self.procs]
+        dup.inflight = dict(self.inflight) if self.inflight else None
+        if dup.inflight:
+            dup.inflight["invs"] = list(self.inflight["invs"])
+        dup.next_commit = self.next_commit
+        dup.memory = self.memory
+        dup.mut_used = self.mut_used
+        return dup
+
+    def key(self) -> tuple:
+        inflight = None
+        if self.inflight:
+            inflight = (
+                self.inflight["commit"], self.inflight["proc"],
+                self.inflight["chunk"], self.inflight["lease_epoch"],
+                self.inflight["grant_pending"], tuple(self.inflight["invs"]),
+            )
+        return (
+            self.epoch, self.mode, self.crash_budget,
+            tuple((p[0], p[1], p[2]) for p in self.procs),
+            inflight, self.next_commit, self.memory, self.mut_used,
+        )
+
+
+def _emit(records: List[TraceRecord], t: float, ev: str,
+          p: Optional[int], data: dict) -> None:
+    records.append(
+        TraceRecord(seq=len(records) + 1, t=t, ev=ev, p=p, data=data)
+    )
+
+
+# ----------------------------------------------------------------------
+# Transition rules
+# ----------------------------------------------------------------------
+
+def _enabled_moves(
+    state: _State,
+    chunks_per_proc: int,
+    enable_crash: bool,
+    mutation: Optional[str],
+) -> List[Tuple[str, Callable[[_State, List[TraceRecord], float], None]]]:
+    """All transitions enabled in ``state``, in deterministic order.
+
+    Each move is ``(name, apply)``; ``apply`` mutates a *cloned* state
+    and appends this transition's records (all sharing one time ``t``,
+    like the simulator's single-instant event handlers).
+    """
+    moves: List[Tuple[str, Callable]] = []
+
+    for p, (committed, _counter, head) in enumerate(state.procs):
+        # start(p): open the next chunk.
+        if head is None and committed < chunks_per_proc:
+            def _start(s: _State, records: List[TraceRecord], t: float,
+                       p: int = p) -> None:
+                s.procs[p][1] += 1
+                s.procs[p][2] = (s.procs[p][1], "exec")
+            moves.append((f"start(p{p})", _start))
+
+        # request(p): arbitrate + serialize (single grant instant).
+        if (
+            head is not None
+            and head[1] == "exec"
+            and state.inflight is None
+            and state.mode == "normal"
+        ):
+            def _request(s: _State, records: List[TraceRecord], t: float,
+                         p: int = p) -> None:
+                chunk = s.procs[p][2][0]
+                commit = s.next_commit
+                s.next_commit += 1
+                logical = s.procs[p][0]           # chunks committed so far
+                ops = [
+                    [0, 0, s.memory, 2 * logical],
+                    [1, 0, commit, 2 * logical + 1],
+                ]
+                _emit(records, t, "arb.grant", p, {"chunk": chunk})
+                data = {
+                    "chunk": chunk, "commit": commit,
+                    "epoch": [s.epoch], "ops": ops,
+                    "w_lines": [0], "r_lines": [0],
+                }
+                _emit(records, t, "commit.serialize", p, dict(data))
+                if mutation == "double-serialize" and not s.mut_used:
+                    s.mut_used = True
+                    _emit(records, t, "commit.serialize", p, dict(data))
+                s.memory = commit                  # the store's value
+                s.procs[p][2] = (chunk, "granted")
+                s.inflight = {
+                    "commit": commit, "proc": p, "chunk": chunk,
+                    "lease_epoch": s.epoch, "grant_pending": True,
+                    "invs": [q for q in range(len(s.procs)) if q != p],
+                }
+            moves.append((f"request(p{p})", _request))
+
+    inflight = state.inflight
+    if inflight is not None:
+        # deliver_grant: grant message + directory expansion.
+        if inflight["grant_pending"] and state.mode == "normal":
+            def _grant(s: _State, records: List[TraceRecord], t: float) -> None:
+                w = s.inflight
+                grant_epoch = s.epoch
+                if mutation == "dead-epoch-grant":
+                    grant_epoch = w["lease_epoch"]  # stale lease accepted
+                _emit(records, t, "chunk.grant", w["proc"],
+                      {"chunk": w["chunk"], "epoch": [grant_epoch]})
+                victims = list(w["invs"])
+                if mutation == "phantom-victim" and not s.mut_used:
+                    s.mut_used = True
+                    victims = []                    # Table 1 says: no sharers
+                _emit(records, t, "dir.expand", None, {
+                    "dir": 0, "committer": w["proc"], "lines": [0],
+                    "invalidation_list": sorted(victims), "lookups": 1,
+                })
+                w["grant_pending"] = False
+            moves.append(("deliver_grant", _grant))
+
+        # deliver_inv(v): the committed W reaches one victim.
+        if not inflight["grant_pending"]:
+            for victim in list(inflight["invs"]):
+                def _deliver(s: _State, records: List[TraceRecord], t: float,
+                             victim: int = victim) -> None:
+                    w = s.inflight
+                    head = s.procs[victim][2]
+                    conflicts = (
+                        [head[0]] if head is not None and head[1] == "exec"
+                        else []
+                    )
+                    data = {
+                        "chunk": w["chunk"], "committer": w["proc"],
+                        "commit": w["commit"], "w_lines": [0],
+                        "sig_conflicts": list(conflicts),
+                        "true_conflicts": list(conflicts),
+                    }
+                    _emit(records, t, "inv.deliver", victim, dict(data))
+                    if mutation == "dup-inv" and not s.mut_used:
+                        s.mut_used = True
+                        _emit(records, t, "inv.deliver", victim, dict(data))
+                    if conflicts:
+                        if mutation != "skip-squash":
+                            _emit(records, t, "chunk.squash", victim,
+                                  {"chunk": head[0]})
+                        # Squashed chunk restarts as a fresh chunk id
+                        # (silently under the skip-squash mutation —
+                        # that is the under-reporting bug).
+                        s.procs[victim][1] += 1
+                        s.procs[victim][2] = (s.procs[victim][1], "exec")
+                    w["invs"].remove(victim)
+                moves.append((f"deliver_inv(p{victim})", _deliver))
+
+        # complete: all acks in; the W leaves the arbiter's list.
+        if not inflight["grant_pending"] and not inflight["invs"]:
+            def _complete(s: _State, records: List[TraceRecord], t: float) -> None:
+                w = s.inflight
+                _emit(records, t, "chunk.commit", w["proc"],
+                      {"chunk": w["chunk"]})
+                s.procs[w["proc"]][0] += 1
+                s.procs[w["proc"]][2] = None
+                s.inflight = None
+            moves.append(("complete", _complete))
+
+    # Crash extension: crash -> reconstruct -> recovered (budget-bounded).
+    if enable_crash and state.mode == "normal" and state.crash_budget > 0:
+        def _crash(s: _State, records: List[TraceRecord], t: float) -> None:
+            s.crash_budget -= 1
+            s.epoch += 1
+            s.mode = "down"
+            _emit(records, t, "arb.crash", None,
+                  {"target": _ARBITER, "epoch": s.epoch})
+        moves.append(("crash", _crash))
+    if state.mode == "down":
+        def _reconstruct(s: _State, records: List[TraceRecord], t: float) -> None:
+            s.mode = "reconstructing"
+            _emit(records, t, "arb.reconstruct", None,
+                  {"target": _ARBITER, "epoch": s.epoch})
+        moves.append(("reconstruct", _reconstruct))
+    if state.mode == "reconstructing":
+        def _recovered(s: _State, records: List[TraceRecord], t: float) -> None:
+            s.mode = "normal"
+            _emit(records, t, "arb.recovered", None,
+                  {"target": _ARBITER, "epoch": s.epoch})
+            if s.inflight is not None and mutation != "dead-epoch-grant":
+                # Readmission renews the surviving commit's lease (the
+                # dead-epoch-grant mutation models exactly this fence
+                # being forgotten).
+                s.inflight["lease_epoch"] = s.epoch
+        moves.append(("recovered", _recovered))
+
+    return moves
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration
+# ----------------------------------------------------------------------
+
+@dataclass
+class ModelCheckReport:
+    """Outcome of one exhaustive enumeration."""
+
+    procs: int
+    chunks: int
+    enable_crash: bool
+    mutation: Optional[str]
+    states: int = 0
+    paths: int = 0
+    transitions: int = 0
+    truncated: bool = False
+    activations: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    violations: Dict[str, int] = field(default_factory=dict)
+    sample_witnesses: List[Witness] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.truncated
+
+    @property
+    def vacuous_clauses(self) -> List[str]:
+        missing = []
+        for contract in ALL_CONTRACTS:
+            per_clause = self.activations.get(contract.component, {})
+            for clause in contract.clauses:
+                if per_clause.get(clause.name, 0) == 0:
+                    missing.append(f"{contract.component}/{clause.name}")
+        return missing
+
+    def payload(self) -> dict:
+        return {
+            "config": {
+                "procs": self.procs, "chunks": self.chunks,
+                "enable_crash": self.enable_crash, "mutation": self.mutation,
+            },
+            "ok": self.ok,
+            "states": self.states,
+            "paths": self.paths,
+            "transitions": self.transitions,
+            "truncated": self.truncated,
+            "activations": self.activations,
+            "violations": self.violations,
+            "vacuous_clauses": self.vacuous_clauses,
+            "sample_witnesses": [w.payload() for w in self.sample_witnesses],
+        }
+
+
+def run_model(
+    procs: int = 2,
+    chunks: int = 2,
+    enable_crash: bool = False,
+    mutation: Optional[str] = None,
+    max_paths: int = 200_000,
+) -> ModelCheckReport:
+    """Enumerate every interleaving; contract-check each complete path."""
+    if procs < 2 or chunks < 1:
+        raise ModelCheckError("model needs >= 2 procs and >= 1 chunk")
+    if mutation is not None and mutation not in MUTATIONS:
+        raise ModelCheckError(
+            f"unknown mutation {mutation!r} "
+            f"(known: {', '.join(sorted(MUTATIONS))})"
+        )
+
+    report = ModelCheckReport(
+        procs=procs, chunks=chunks, enable_crash=enable_crash,
+        mutation=mutation,
+    )
+    seen_states = set()
+
+    def _check_path(records: List[TraceRecord]) -> None:
+        # Mutated runs skip the composition obligation: a mutation can
+        # legitimately break SC itself (that is the point), and the
+        # assertion below is about *which component contract* localizes
+        # the bug.
+        components = None if mutation is None else list(MUTATIONS.values())
+        path_report = check_records(records, components=components)
+        for verdict in path_report.verdicts:
+            per_clause = report.activations.setdefault(verdict.component, {})
+            for name, count in verdict.activations.items():
+                per_clause[name] = per_clause.get(name, 0) + count
+        if path_report.composition is not None:
+            comp = path_report.composition
+            if comp.evaluated:
+                per_clause = report.activations.setdefault("composition", {})
+                per_clause["interface-replay"] = (
+                    per_clause.get("interface-replay", 0) + comp.ops
+                )
+        for witness in path_report.witnesses:
+            report.violations[witness.component] = (
+                report.violations.get(witness.component, 0) + 1
+            )
+            if len(report.sample_witnesses) < 5:
+                report.sample_witnesses.append(witness)
+
+    def _dfs(state: _State, records: List[TraceRecord]) -> None:
+        if report.paths >= max_paths:
+            report.truncated = True
+            return
+        moves = _enabled_moves(state, chunks, enable_crash, mutation)
+        if not moves:
+            report.paths += 1
+            _check_path(records)
+            return
+        for _name, apply_move in moves:
+            if report.truncated:
+                return
+            successor = state.clone()
+            branch = list(records)
+            t = (branch[-1].t + 1.0) if branch else 1.0
+            apply_move(successor, branch, t)
+            report.transitions += 1
+            key = successor.key()
+            if key not in seen_states:
+                seen_states.add(key)
+            _dfs(successor, branch)
+
+    initial = _State(procs, crash_budget=1 if enable_crash else 0)
+    seen_states.add(initial.key())
+    _dfs(initial, [])
+    report.states = len(seen_states)
+    return report
+
+
+# ----------------------------------------------------------------------
+# The full static verification of the contract specs
+# ----------------------------------------------------------------------
+
+def verify_contracts(
+    procs: int = 2,
+    chunks: int = 2,
+    max_paths: int = 200_000,
+) -> dict:
+    """Run the whole obligation: legal runs clean + non-vacuous,
+    each seeded mutation caught by (exactly) its targeted contract.
+
+    Returns a JSON-ready payload with ``ok`` plus per-run detail.
+    """
+    problems: List[str] = []
+
+    base = run_model(procs, chunks, enable_crash=False, max_paths=max_paths)
+    crash = run_model(procs, chunks, enable_crash=True, max_paths=max_paths)
+    for legal in (base, crash):
+        label = "crash" if legal.enable_crash else "base"
+        if legal.truncated:
+            problems.append(f"{label}: enumeration truncated at {max_paths} paths")
+        for component, count in sorted(legal.violations.items()):
+            problems.append(
+                f"{label}: contract {component} violated on a legal "
+                f"interleaving ({count} witness(es))"
+            )
+
+    # Non-vacuity is judged over the union of both legal enumerations.
+    merged: Dict[str, Dict[str, int]] = {}
+    for legal in (base, crash):
+        for component, per_clause in legal.activations.items():
+            bucket = merged.setdefault(component, {})
+            for name, count in per_clause.items():
+                bucket[name] = bucket.get(name, 0) + count
+    vacuous = []
+    for contract in ALL_CONTRACTS:
+        per_clause = merged.get(contract.component, {})
+        for clause in contract.clauses:
+            if per_clause.get(clause.name, 0) == 0:
+                vacuous.append(f"{contract.component}/{clause.name}")
+    for name in vacuous:
+        problems.append(f"vacuous clause: {name} never activated on any "
+                        "legal interleaving")
+
+    mutations: Dict[str, dict] = {}
+    for name, target in MUTATIONS.items():
+        mutated = run_model(
+            procs, chunks,
+            enable_crash=(name == "dead-epoch-grant"),
+            mutation=name, max_paths=max_paths,
+        )
+        caught = target in mutated.violations
+        mutations[name] = {
+            "target": target,
+            "caught": caught,
+            "paths": mutated.paths,
+            "states": mutated.states,
+            "violations": mutated.violations,
+            "sample_witnesses": [
+                w.payload() for w in mutated.sample_witnesses
+            ],
+        }
+        if not caught:
+            problems.append(
+                f"mutation {name}: targeted contract {target} reported no "
+                f"violation (violations seen: {sorted(mutated.violations)})"
+            )
+
+    return {
+        "ok": not problems,
+        "config": {"procs": procs, "chunks": chunks, "max_paths": max_paths},
+        "problems": problems,
+        "legal": {
+            "base": base.payload(),
+            "crash": crash.payload(),
+        },
+        "activations": merged,
+        "vacuous_clauses": vacuous,
+        "mutations": mutations,
+    }
+
+
+def render_modelcheck(payload: dict) -> str:
+    """Human-readable summary of :func:`verify_contracts` output."""
+    lines = []
+    config = payload["config"]
+    lines.append(
+        f"bounded model check: {config['procs']} procs x "
+        f"{config['chunks']} chunks x 1 address"
+    )
+    for label in ("base", "crash"):
+        run = payload["legal"][label]
+        lines.append(
+            f"  {label:<6} states={run['states']} paths={run['paths']} "
+            f"transitions={run['transitions']} "
+            f"violations={sum(run['violations'].values())}"
+        )
+    lines.append("  activations (legal interleavings):")
+    for component, per_clause in sorted(payload["activations"].items()):
+        detail = ", ".join(
+            f"{name}={count}" for name, count in sorted(per_clause.items())
+        )
+        lines.append(f"    {component:<12} {detail}")
+    lines.append("  mutations:")
+    for name, info in sorted(payload["mutations"].items()):
+        state = "caught" if info["caught"] else "MISSED"
+        lines.append(
+            f"    {name:<18} -> {info['target']:<9} {state} "
+            f"({info['paths']} paths)"
+        )
+    verdict = "OK" if payload["ok"] else "FAILED"
+    lines.append(f"model check {verdict}")
+    for problem in payload["problems"]:
+        lines.append(f"  problem: {problem}")
+    return "\n".join(lines)

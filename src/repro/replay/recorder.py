@@ -10,8 +10,13 @@ hooks:
   squash) via :func:`wrap_chunk_events`, shared with ``ChunkTracer``;
 * the arbiter's ``decide`` (one record per request: grant/deny/need-R);
 * the commit engine's serialization instant (the chunk's position in
-  the SC total order);
-* invalidation delivery to each victim processor;
+  the SC total order), enriched with the grant epoch, the chunk's op
+  list, and its true line footprints — the interface events the
+  contract layer (:mod:`repro.contracts`) replays;
+* each directory BDM's signature expansion (``dir.expand``);
+* invalidation delivery to each victim processor, enriched with the
+  independently recomputed signature-conflict and true-conflict sets
+  (ground truth for the BDM disambiguation contract);
 * every injected fault, via the injector's observer hook.
 
 :func:`record_run` is the one-call entry point: build the machine from
@@ -137,6 +142,7 @@ class TraceRecorder:
         if machine.commit_engine is not None:
             recorder._wrap_commit_engine(machine.commit_engine)
         recorder._wrap_invalidation_delivery()
+        recorder._wrap_directory_expansion()
         machine.fault_injector.add_observer(recorder._on_fault)
         if getattr(machine, "recovery", None) is not None:
             machine.recovery.observers.append(recorder._on_recovery)
@@ -164,14 +170,51 @@ class TraceRecorder:
         original_serialize = engine._serialize
 
         def traced_serialize(txn):
+            chunk = txn.chunk
             recorder._record(
                 "commit.serialize",
-                txn.chunk.proc,
-                {"chunk": txn.chunk.chunk_id, "commit": txn.commit_id},
+                chunk.proc,
+                {
+                    "chunk": chunk.chunk_id,
+                    "commit": txn.commit_id,
+                    # The lease the grant was issued under (set just
+                    # before serialization) — the epoch the arbiter and
+                    # recovery contracts audit.
+                    "epoch": list(txn.lease) if txn.lease else None,
+                    # The chunk's op log, in program order: the exact
+                    # data the commit engine publishes into the history
+                    # at this instant, so the composition checker can
+                    # replay the SC order from interface events alone.
+                    "ops": [
+                        [1 if op.is_store else 0, op.word_addr, op.value,
+                         op.program_index]
+                        for op in chunk.ops
+                    ],
+                    "w_lines": sorted(chunk.true_written_lines),
+                    "r_lines": sorted(chunk.true_read_lines),
+                },
             )
             original_serialize(txn)
 
         engine._serialize = traced_serialize
+
+    def _commit_id_for(self, chunk) -> Optional[int]:
+        engine = self.machine.commit_engine
+        if engine is None:
+            return None
+        for txn in engine.inflight_transactions():
+            if txn.chunk is chunk:
+                return txn.commit_id
+        return None
+
+    def _lease_for(self, chunk) -> Optional[list]:
+        engine = self.machine.commit_engine
+        if engine is None:
+            return None
+        for txn in engine.inflight_transactions():
+            if txn.chunk is chunk and txn.lease:
+                return list(txn.lease)
+        return None
 
     def _wrap_invalidation_delivery(self) -> None:
         recorder = self
@@ -179,20 +222,79 @@ class TraceRecorder:
         original_deliver = machine.deliver_commit_to_proc
 
         def traced_deliver(proc, chunk, now):
+            # Recompute both conflict sets *independently* of the BDM the
+            # delivery is about to run: the signature predicate straight
+            # from the victim's active chunks, and the ground-truth line
+            # intersection.  A BDM that under-reports (or a filter that
+            # hides a true conflict) is then visible in the trace itself.
+            from repro.signatures.ops import collides_fast
+
+            sig_conflicts = []
+            true_conflicts = []
+            for local in machine.bdms[proc].active_chunks():
+                if not local.is_active:
+                    continue
+                if collides_fast(chunk.w_sig, local.r_sig, local.w_sig):
+                    sig_conflicts.append(local.chunk_id)
+                touched = local.true_read_lines | local.true_written_lines
+                if touched & chunk.true_written_lines:
+                    true_conflicts.append(local.chunk_id)
             recorder._record(
                 "inv.deliver",
                 proc,
-                {"chunk": chunk.chunk_id, "committer": chunk.proc},
+                {
+                    "chunk": chunk.chunk_id,
+                    "committer": chunk.proc,
+                    "commit": recorder._commit_id_for(chunk),
+                    "w_lines": sorted(chunk.true_written_lines),
+                    "sig_conflicts": sorted(sig_conflicts),
+                    "true_conflicts": sorted(true_conflicts),
+                },
             )
             original_deliver(proc, chunk, now)
 
         machine.deliver_commit_to_proc = traced_deliver
+
+    def _wrap_directory_expansion(self) -> None:
+        for index, dirbdm in enumerate(self.machine.dirbdms):
+            self._wrap_one_dirbdm(index, dirbdm)
+
+    def _wrap_one_dirbdm(self, index: int, dirbdm) -> None:
+        recorder = self
+        original_expand = dirbdm.expand_commit
+
+        def traced_expand(w_signature, committing_proc, true_written_lines):
+            outcome = original_expand(
+                w_signature, committing_proc, true_written_lines
+            )
+            recorder._record(
+                "dir.expand",
+                None,
+                {
+                    "dir": index,
+                    "committer": committing_proc,
+                    "lines": sorted(true_written_lines),
+                    "invalidation_list": sorted(outcome.invalidation_list),
+                    "lookups": outcome.lookups,
+                },
+            )
+            return outcome
+
+        dirbdm.expand_commit = traced_expand
 
     # ------------------------------------------------------------------
     def _on_chunk_event(self, proc: int, chunk, event: str, detail: str) -> None:
         data: Dict[str, object] = {"chunk": chunk.chunk_id}
         if detail:
             data["detail"] = detail
+        if event == "grant":
+            # The lease is renewed across arbiter crashes before the
+            # grant is (re-)accepted, so an accepted grant always shows
+            # the live epoch — the recovery contract's dead-epoch clause
+            # audits exactly this field.
+            lease = self._lease_for(chunk)
+            if lease is not None:
+                data["epoch"] = lease
         self._record(f"chunk.{event}", proc, data)
 
     def _on_fault(self, record: FaultRecord) -> None:

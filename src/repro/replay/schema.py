@@ -37,11 +37,24 @@ Record event kinds currently emitted:
 ``arb.need_r``      RSig second round: arbiter asked for R
 ``commit.serialize`` chunk serialized at the arbiter's grant instant
 ``inv.deliver``     committed W delivered to a victim processor
+``dir.expand``      a directory BDM expanded a committed W signature
 ``fault``           the injector perturbed a message or protocol step
 ``arb.crash``       an arbiter incarnation crash-stopped (v2)
 ``arb.reconstruct`` the new epoch re-admitted surviving commits (v2)
 ``arb.recovered``   reconstruction drained; normal service resumed (v2)
 ==================  =====================================================
+
+Several records carry optional enriched data fields consumed by the
+per-component contract checkers (:mod:`repro.contracts`) — all additions
+under the backward-compatible "new optional data fields" rule, so the
+version stays 2: ``commit.serialize`` adds ``epoch`` (grant lease),
+``ops`` (the chunk's program-order op log as ``[is_store, word, value,
+program_index]`` rows), and ``w_lines``/``r_lines`` (true line
+footprints); ``chunk.grant`` adds ``epoch``; ``inv.deliver`` adds
+``commit``, ``w_lines``, and the independently recomputed
+``sig_conflicts``/``true_conflicts`` chunk-id sets.  Traces recorded
+before these fields existed still read and replay; contract checkers
+report the affected clauses as *unevaluable* rather than guessing.
 """
 
 from __future__ import annotations

@@ -59,6 +59,9 @@ def workload_name(spec: dict) -> str:
         name = f"litmus:{spec['test']}/g{stagger}" if stagger else f"litmus:{spec['test']}"
     elif spec.get("kind") == "app":
         name = f"app:{spec['app']}/i{spec['instructions']}"
+    elif spec.get("kind") == "contracts":
+        # Static contract check of a recorded trace (no simulation).
+        name = f"contracts:{spec.get('component', 'all')}@{spec.get('trace')}"
     else:
         name = f"workload:{spec}"
     dropped = spec.get("dropped_threads")

@@ -48,6 +48,14 @@ class CycleWitnessEdge:
             return f"{self.src} -[{self.kind} @{where}]-> {self.dst}"
         return f"{self.src} -[{self.kind}]-> {self.dst}"
 
+    def payload(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "addrs": list(self.addrs),
+        }
+
 
 def format_cycle_witness(edges: Sequence[CycleWitnessEdge]) -> str:
     """Render a full cycle witness, one edge per line.
@@ -91,6 +99,26 @@ class SerializabilityResult:
 
     def __bool__(self) -> bool:
         return self.ok
+
+    def witness(self):
+        """The cycle in the shared witness format of
+        :class:`repro.contracts.dsl.Witness`, so chaos/campaign reports
+        render dynamic cycle witnesses and static contract witnesses
+        uniformly.  ``None`` when the graph is acyclic.  Event ids are
+        the cycle's chunk node labels (``p0#3``-style), matching the
+        node spelling the static analyzer uses."""
+        from repro.contracts.dsl import Witness
+
+        if self.ok:
+            return None
+        nodes = [f"p{p}#{c}" for p, c in (self.cycle or ())]
+        return Witness(
+            component="serializability",
+            clause="conflict-cycle",
+            message="conflict cycle among chunks " + " -> ".join(nodes),
+            events=tuple(nodes),
+            data={"edges": [edge.payload() for edge in self.cycle_edges]},
+        )
 
 
 @dataclass(frozen=True)

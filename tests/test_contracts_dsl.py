@@ -1,0 +1,162 @@
+"""Tests for the ordering-contract DSL (:mod:`repro.contracts.dsl`).
+
+The DSL is the foundation of the static verification layer: selectors
+slice, clauses accumulate activations and localized witnesses, and the
+witness format is shared with the dynamic serializability checker so
+static and dynamic findings render uniformly.
+"""
+
+from repro.contracts.dsl import (
+    Clause,
+    ClauseContext,
+    Contract,
+    EventSelector,
+    Witness,
+)
+from repro.replay.schema import TraceRecord
+
+
+def rec(seq, ev, p=None, **data):
+    return TraceRecord(seq=seq, t=float(seq), ev=ev, p=p, data=data)
+
+
+class TestEventSelector:
+    def test_select_filters_by_kind(self):
+        sel = EventSelector(kinds=("commit.serialize", "arb.crash"))
+        records = [
+            rec(1, "chunk.start", p=0),
+            rec(2, "commit.serialize", p=0, commit=1),
+            rec(3, "inv.deliver", p=1),
+            rec(4, "arb.crash"),
+        ]
+        picked = sel.select(records)
+        assert [r.seq for r in picked] == [2, 4]
+        assert sel.matches(records[1])
+        assert not sel.matches(records[0])
+
+    def test_select_preserves_order_and_identity(self):
+        sel = EventSelector(kinds=("fault",))
+        records = [rec(i, "fault") for i in range(1, 5)]
+        assert sel.select(records) == records
+
+
+class TestWitness:
+    def test_describe_is_localized(self):
+        w = Witness(
+            component="bdm",
+            clause="conflicts-squashed",
+            message="conflicting chunk 3 never squashed",
+            events=(7, 9),
+            data={"chunk": 3},
+        )
+        text = w.describe()
+        # Localization: component and clause up front, event ids last.
+        assert text.startswith("[bdm/conflicts-squashed]")
+        assert "(events 7, 9)" in text
+
+    def test_payload_round_trips_json_shape(self):
+        w = Witness("arbiter", "serialize-unique", "dup", events=(1,),
+                    data={"commit": 4})
+        payload = w.payload()
+        assert payload == {
+            "component": "arbiter",
+            "clause": "serialize-unique",
+            "message": "dup",
+            "events": [1],
+            "data": {"commit": 4},
+        }
+
+    def test_shared_format_with_serializability_checker(self):
+        """The dynamic cycle witness uses the very same Witness class."""
+        from repro.verify.history import ExecutionHistory
+        from repro.verify.serializability import (
+            SerializabilityResult,
+            check_conflict_serializability,
+        )
+
+        ok = check_conflict_serializability(ExecutionHistory())
+        assert ok.witness() is None
+        bad = SerializabilityResult(
+            ok=False, reason="cycle", cycle=[(0, 1), (1, 2)]
+        )
+        w = bad.witness()
+        assert isinstance(w, Witness)
+        assert w.component == "serializability"
+        assert w.clause == "conflict-cycle"
+        assert w.events == ("p0#1", "p1#2")
+        assert "edges" in w.data
+
+
+class TestClauseContext:
+    def test_activations_accumulate(self):
+        ctx = ClauseContext("arbiter", "per-proc-order")
+        ctx.activate()
+        ctx.activate(count=3)
+        assert ctx.activations == 4
+        assert ctx.witnesses == []
+
+    def test_witness_carries_component_and_clause(self):
+        ctx = ClauseContext("network", "per-victim-fifo")
+        ctx.witness("out of order", events=(5, 6), commit=2)
+        (w,) = ctx.witnesses
+        assert w.component == "network"
+        assert w.clause == "per-victim-fifo"
+        assert w.events == (5, 6)
+        assert w.data == {"commit": 2}
+
+
+class TestContractCheck:
+    def _contract(self):
+        def non_decreasing(stream, ctx):
+            last = None
+            for record in stream:
+                value = record.data["value"]
+                if last is not None:
+                    ctx.activate()
+                    if value < last:
+                        ctx.witness(
+                            f"value regressed {last} -> {value}",
+                            events=(record.seq,),
+                        )
+                last = value
+
+        return Contract(
+            component="demo",
+            description="values never regress",
+            selector=EventSelector(kinds=("demo.tick",)),
+            clauses=(
+                Clause("monotone", "values never regress", non_decreasing),
+            ),
+        )
+
+    def test_clean_stream_passes_with_activations(self):
+        verdict = self._contract().check(
+            [rec(1, "demo.tick", value=1), rec(2, "demo.tick", value=2),
+             rec(3, "other")]
+        )
+        assert verdict.ok
+        assert verdict.events == 2  # selector dropped the 'other' record
+        assert verdict.activations == {"monotone": 1}
+        assert not verdict.clauses[0].vacuous
+
+    def test_violation_produces_localized_witness(self):
+        verdict = self._contract().check(
+            [rec(1, "demo.tick", value=5), rec(2, "demo.tick", value=3)]
+        )
+        assert not verdict.ok
+        (w,) = verdict.witnesses
+        assert w.component == "demo"
+        assert w.clause == "monotone"
+        assert w.events == (2,)
+
+    def test_empty_stream_is_vacuous_not_failing(self):
+        verdict = self._contract().check([rec(1, "other")])
+        assert verdict.ok
+        assert verdict.clauses[0].vacuous
+        assert verdict.activations == {"monotone": 0}
+
+    def test_payload_shape(self):
+        payload = self._contract().check([rec(1, "demo.tick", value=1)]).payload()
+        assert payload["component"] == "demo"
+        assert payload["ok"] is True
+        assert payload["clauses"][0]["name"] == "monotone"
