@@ -14,6 +14,11 @@ Commands:
   exploration, and failure minimization.
 * ``campaign`` — durable, checkpointed, resumable certification
   campaigns over an append-only store (``run|status|resume|report``).
+* ``serve`` — run one component of the crash-tolerant multi-process
+  service (node, arbiter, fault proxy, or a whole cluster).
+* ``service`` — benchmark (``bench``) and certify (``certify``) live
+  service runs: socket transport, epoch-fenced arbiter failover, SC
+  certification of the merged history.
 * ``experiments`` — regenerate one of the paper's tables/figures.
 * ``profile`` — run the simulator core under cProfile and print the
   hottest functions.
@@ -437,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.campaign.cli import add_campaign_parser
 
     add_campaign_parser(sub)
+
+    from repro.service.cli import add_serve_parser, add_service_parser
+
+    add_serve_parser(sub)
+    add_service_parser(sub)
 
     p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
     p_exp.add_argument(

@@ -58,6 +58,7 @@ def _options(args: argparse.Namespace):
         cell_timeout=args.cell_timeout,
         retries=args.retries,
         minimize=not args.no_minimize,
+        claim_lease=args.claim_lease,
     )
 
 
@@ -155,6 +156,15 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         "--no-minimize",
         action="store_true",
         help="skip ddmin-minimizing failing cells into replay traces",
+    )
+    parser.add_argument(
+        "--claim-lease",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help="advisory wall-clock lease on each shard claim; `campaign "
+        "status` flags in-flight claims past their lease as stale "
+        "(default 900)",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON")
 

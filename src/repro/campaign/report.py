@@ -153,8 +153,14 @@ def status_payload(
     """Progress accounting for ``campaign status`` (wall-clock allowed)."""
     state = state if state is not None else store.load()
     done = sum(1 for c in cells if c.key in state.results)
-    in_flight = len(
-        state.in_flight_keys & {c.key for c in cells}
+    in_flight_keys = state.in_flight_keys & {c.key for c in cells}
+    in_flight = len(in_flight_keys)
+    now = time.time()  # detlint: ok[DET003] — stale-lease display only, never aggregated
+    stale_in_flight = sum(
+        1
+        for key in in_flight_keys
+        if state.claim_expiry.get(key) is not None
+        and state.claim_expiry[key] < now
     )
     counts: Dict[str, int] = {}
     for cell in cells:
@@ -178,6 +184,7 @@ def status_payload(
         "cells": len(cells),
         "done": done,
         "in_flight": in_flight,
+        "stale_in_flight": stale_in_flight,
         "remaining": len(cells) - done,
         "counts": counts,
         "failures": sum(counts.get(s, 0) for s in FAILURE_STATUSES),
@@ -212,6 +219,12 @@ def render_status(payload: dict) -> str:
         lines.append(f"outcomes: {counts}")
     if payload["retries"]:
         lines.append(f"worker retries: {payload['retries']}")
+    if payload.get("stale_in_flight"):
+        lines.append(
+            f"warning: {payload['stale_in_flight']} in-flight claim(s) "
+            "past their lease — the runner that claimed them has likely "
+            "died; `campaign resume` will re-run them"
+        )
     if payload["torn_tail"]:
         lines.append(
             "note: torn tail line in log (killed mid-append); "

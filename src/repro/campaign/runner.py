@@ -54,6 +54,11 @@ class RunnerOptions:
     backoff: float = 0.05
     minimize: bool = True
     max_minimize: int = 3
+    #: Advisory wall-clock lease on each shard claim: `campaign status`
+    #: flags in-flight claims older than this as stale (runner likely
+    #: dead).  Purely informational — resume re-runs in-flight cells
+    #: whether or not their lease lapsed.
+    claim_lease: float = 900.0
 
 
 def _execute_contracts_cell(cell: CampaignCell) -> dict:
@@ -301,12 +306,14 @@ def run_campaign(
     shard_index = len(state.checkpoints)
     for start in range(0, len(pending), options.shard_size):
         shard = pending[start : start + options.shard_size]
+        claimed_at = time.time()  # detlint: ok[DET003] — log-envelope timestamp, never aggregated
         store.append(
             {
                 "type": "claim",
                 "shard": shard_index,
                 "keys": [c.key for c in shard],
-                "ts": time.time(),  # detlint: ok[DET003] — log-envelope timestamp, never aggregated
+                "ts": claimed_at,
+                "lease_expires_ts": claimed_at + options.claim_lease,
             }
         )
         shard_started = time.monotonic()  # detlint: ok[DET003] — shard wall-clock bookkeeping

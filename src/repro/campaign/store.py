@@ -24,9 +24,14 @@ Durability protocol:
 
 Record types in ``log.jsonl``:
 
-* ``{"type": "claim", "keys": [...], "shard": i, "ts": ...}`` — a shard
-  was dispatched; claimed-but-unresolved keys are *in flight* and get
-  re-queued by resume.
+* ``{"type": "claim", "keys": [...], "shard": i, "ts": ...,
+  "lease_expires_ts": ...}`` — a shard was dispatched;
+  claimed-but-unresolved keys are *in flight* and get re-queued by
+  resume.  ``lease_expires_ts`` is advisory wall-clock: ``campaign
+  status`` flags in-flight claims whose lease has lapsed as *stale*
+  (their runner probably died), so an operator knows a resume is needed
+  without guessing.  Leases gate nothing — resume re-runs in-flight
+  cells regardless.
 * ``{"type": "result", "key": ..., "name": ..., "outcome": {...},
   "elapsed": ...}`` — one finished cell.  ``outcome`` is pure
   deterministic data (it feeds the aggregate); ``elapsed``/``ts`` are
@@ -70,6 +75,9 @@ class StoreState:
     def __init__(self) -> None:
         self.results: Dict[str, dict] = {}  # key -> result record
         self.claimed: Set[str] = set()
+        #: key -> latest advisory lease expiry (wall-clock, may be absent
+        #: for claims written by older code).
+        self.claim_expiry: Dict[str, float] = {}
         self.checkpoints: List[dict] = []
         self.sessions: List[dict] = []
         self.degrades: List[dict] = []
@@ -237,7 +245,12 @@ class CampaignStore:
                 )
             kind = record.get("type")
             if kind == "claim":
-                state.claimed.update(record.get("keys", ()))
+                keys = record.get("keys", ())
+                state.claimed.update(keys)
+                expires = record.get("lease_expires_ts")
+                if expires is not None:
+                    for key in keys:
+                        state.claim_expiry[key] = float(expires)
             elif kind == "result":
                 # First write wins: results are deterministic, and a
                 # resumed campaign never re-records a finished cell.

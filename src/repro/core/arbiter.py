@@ -221,6 +221,23 @@ class Arbiter:
         self._track_occupancy(now)
         return dropped
 
+    def adopt_epoch(self, epoch: int) -> int:
+        """Fast-forward this incarnation counter to a later lease number.
+
+        Used by service failover: a standby arbiter taking over learns the
+        dead primary's epoch from heartbeats and node polls, adopts it,
+        then :meth:`crash`\\ es so the bump lands on the successor
+        incarnation.  Epochs only move forward — adopting a smaller value
+        is a protocol violation (two live incarnations would share leases).
+        """
+        if epoch < self._epoch:
+            raise ProtocolError(
+                f"{self._name} cannot adopt epoch {epoch}: already at "
+                f"{self._epoch} (epochs only move forward)"
+            )
+        self._epoch = epoch
+        return self._epoch
+
     def begin_reconstruction(self, now: float) -> None:
         """The new epoch starts polling processors for surviving commits."""
         if self._mode is ArbiterMode.DOWN:

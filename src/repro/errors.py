@@ -97,6 +97,47 @@ class CampaignError(HarnessError):
     """A campaign store/spec is invalid, corrupt, or used inconsistently."""
 
 
+class ServiceError(ReproError):
+    """The multi-process service layer failed (transport, protocol, failover).
+
+    Raised by :mod:`repro.service` — the crash-tolerant socket deployment
+    of the commit protocol — for failures of the *live* system rather
+    than the simulator.  Subclasses separate what went wrong so callers
+    (and the ``serve``/``service`` CLI exit codes) can tell a flaky wire
+    from a fenced writer from a failed takeover.
+    """
+
+
+class TransportError(ServiceError):
+    """A socket leg stayed unreachable after its bounded retry budget."""
+
+
+class FrameError(TransportError):
+    """A peer sent bytes that do not parse as a length-prefixed JSON frame."""
+
+
+class RequestTimeoutError(TransportError):
+    """A request exhausted its per-request timeout across every retry."""
+
+
+class StaleEpochError(ServiceError):
+    """A request quoted an epoch older than the arbiter's current lease.
+
+    The service-level *writer fencing* signal: the quoted lease died with
+    a previous arbiter incarnation, so the request must re-enter under
+    the live epoch (normally after the takeover fence reaches the node).
+    """
+
+
+class FailoverError(ServiceError):
+    """Standby takeover could not restore arbitration service.
+
+    The live-service analogue of :class:`RecoveryError`: reconstruction
+    polls or fences failed beyond their retry budgets, so the new epoch
+    never reached normal (or even serial degraded) service.
+    """
+
+
 class ProgramError(ReproError):
     """A thread program is malformed (bad operands, unknown ops, ...)."""
 

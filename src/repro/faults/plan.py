@@ -66,6 +66,11 @@ class FaultKind(Enum):
     STORM = "storm"  # invalidation-list false-positive storm
     SQUASH = "squash"  # spurious squash of a random processor
     CRASH = "crash"  # crash-stop an arbiter incarnation
+    #: Wire-level only: a leg blackholes *all* traffic for a window.  Not
+    #: a per-message kind — the in-simulator injector never draws it; the
+    #: service fault proxy (:mod:`repro.service.faultproxy`) interprets it
+    #: against wall-clock windows on live sockets.
+    PARTITION = "partition"
 
 
 #: Kinds that act on individual message deliveries.

@@ -38,6 +38,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import os
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar, Union
@@ -187,7 +188,10 @@ def parallel_map(
         retries: How many times to re-fork a cell whose worker *died*
             (timeouts are not retried: cells are deterministic, so a
             livelocked cell would just burn another budget).
-        backoff: Base of the exponential retry backoff (seconds).
+        backoff: Base of the exponential retry backoff (seconds).  Each
+            retry sleeps ``backoff * 2**n`` scaled by a deterministic
+            per-(cell, attempt) jitter in ``[1.0, 1.5)`` so simultaneous
+            crashes do not re-fork in lockstep.
         failure_mode: ``"raise"`` propagates
             :class:`~repro.errors.WorkerCrashError` /
             :class:`~repro.errors.CellTimeoutError`; ``"return"`` puts a
@@ -260,10 +264,21 @@ def _supervised_map(
                     results[worker.index] = payload
                     continue
                 if attempts[worker.index] <= retries:
+                    # Jittered exponential backoff: when one bad shard
+                    # kills several workers at once, a naked 2**n would
+                    # re-fork them in lockstep and they would contend
+                    # (or OOM) together again.  The jitter draw is
+                    # seeded per (cell, attempt), so the schedule is
+                    # reproducible; cell *outcomes* never depend on it.
+                    jitter_rng = random.Random(
+                        (worker.index + 1) * 1_000_003 + attempts[worker.index]
+                    )
+                    delay = backoff * 2 ** (attempts[worker.index] - 1)
+                    delay *= 1.0 + 0.5 * jitter_rng.random()
                     retry_at.append(
                         (
                             time.monotonic()  # detlint: ok[DET003] — retry backoff clock
-                            + backoff * 2 ** (attempts[worker.index] - 1),
+                            + delay,
                             worker.index,
                         )
                     )

@@ -1,0 +1,143 @@
+"""The client-facing SC key-value API: one batch = one chunk.
+
+A :class:`KVClient` is a *sequential* session pinned to one home node:
+its batches are that node's chunks for one logical processor
+(``CLIENT_PROC_BASE + index``), numbered by a client-side sequence so
+retried requests are idempotent (the node answers a duplicate
+``(client, client_seq)`` with the original result, never re-executing).
+Pinning matters — the home node owns the session's program-order
+counter and its result cache, so a session that roamed would tear its
+own program order apart.
+
+Every acknowledged write batch is appended to the session's **ack
+manifest** before :meth:`txn` returns.  The manifest is the client's
+half of the zero-acknowledged-write-loss bargain: certification replays
+the merged trace and then audits that every manifest entry's writes
+survived into the final replicated store, crashes or not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.service.cluster import CLIENT_PROC_BASE, ClusterConfig
+from repro.service.transport import RetryPolicy, ServiceClient
+
+#: A batch op: ``("r", key)`` or ``("w", key, value)``.
+Op = Union[Tuple[str, int], Tuple[str, int, int]]
+
+
+class KVClient:
+    """One sequential client session against its home node."""
+
+    def __init__(self, config: ClusterConfig, index: int):
+        self.config = config
+        self.index = index
+        self.proc = CLIENT_PROC_BASE + index
+        self.home = index % len(config.nodes)
+        endpoint = config.nodes[self.home]
+        # Client legs get a deeper retry budget than server legs: a txn
+        # spanning an arbiter takeover is *supposed* to stall and then
+        # succeed, not error out of the session.
+        policy = RetryPolicy(
+            attempts=max(4 * config.retry_attempts, 20),
+            base=config.retry_base,
+            cap=config.retry_cap,
+            timeout=max(
+                config.request_timeout, 4 * config.lease_timeout
+            ),
+        )
+        self._client = ServiceClient(
+            endpoint.host,
+            endpoint.connect_port(config.via_proxy),
+            policy,
+            name=f"client{index}->node{self.home}",
+        )
+        self._next_seq = 1
+        self._manifest_path = os.path.join(
+            config.service_dir, f"client{index}.acks.jsonl"
+        )
+        self._manifest: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        await self._client.close()
+        if self._manifest is not None:
+            self._manifest.close()
+            self._manifest = None
+
+    def _record_ack(self, entry: dict) -> None:
+        if self._manifest is None:
+            os.makedirs(self.config.service_dir, exist_ok=True)
+            self._manifest = open(self._manifest_path, "a", encoding="utf-8")
+        self._manifest.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._manifest.flush()
+
+    # ------------------------------------------------------------------
+    async def txn(self, ops: Sequence[Op]) -> Dict[str, int]:
+        """Run one batch as one chunk; returns ``{key: value}`` reads.
+
+        Raises :class:`ServiceError` on a protocol error and the
+        transport's typed errors when the home node stays unreachable
+        past the whole retry budget.
+        """
+        wire_ops: List[list] = []
+        writes: Dict[str, int] = {}
+        for op in ops:
+            if op[0] == "r":
+                wire_ops.append(["r", int(op[1])])
+            elif op[0] == "w":
+                wire_ops.append(["w", int(op[1]), int(op[2])])
+                writes[str(int(op[1]))] = int(op[2])
+            else:
+                raise ServiceError(f"unknown op kind {op[0]!r}")
+        client_seq = self._next_seq
+        self._next_seq += 1
+        response = await self._client.request(
+            "txn", client=self.proc, client_seq=client_seq, ops=wire_ops
+        )
+        if not response.get("committed"):
+            raise ServiceError(
+                f"client {self.proc} txn {client_seq} failed: {response}"
+            )
+        if writes:
+            self._record_ack(
+                {
+                    "client": self.proc,
+                    "client_seq": client_seq,
+                    "seq": response.get("seq"),
+                    "epoch": response.get("epoch"),
+                    "writes": writes,
+                }
+            )
+        return {k: int(v) for k, v in response.get("reads", {}).items()}
+
+    # Convenience single-op wrappers ------------------------------------
+    async def put(self, key: int, value: int) -> None:
+        await self.txn([("w", key, value)])
+
+    async def get(self, key: int) -> int:
+        reads = await self.txn([("r", key)])
+        return reads[str(key)]
+
+
+def load_ack_manifests(directory: str) -> List[dict]:
+    """Read every client ack manifest under ``directory``."""
+    entries: List[dict] = []
+    names = sorted(
+        name for name in os.listdir(directory)  # detlint: ok[DET006] — sorted immediately
+        if name.endswith(".acks.jsonl")
+    )
+    for name in names:
+        with open(os.path.join(directory, name), "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+    return entries
+
+
+__all__ = ["KVClient", "Op", "load_ack_manifests"]

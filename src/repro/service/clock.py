@@ -1,0 +1,22 @@
+"""Wall-clock access for the service layer, concentrated in one module.
+
+The simulator is deterministic and the determinism lint bans wall-clock
+reads, but the live service genuinely runs on wall time: heartbeat
+leases, request timeouts, retry backoff, and throughput measurement.
+Routing every read through these two functions keeps the rest of the
+package lint-clean and gives tests a single seam to fake time through.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def monotonic() -> float:
+    """Monotonic seconds for timeouts, leases, and latency measurement."""
+    return time.monotonic()  # detlint: ok[DET003] — live-service timers run on wall time, never simulated state
+
+
+def wall() -> float:
+    """Wall-clock seconds for log-envelope timestamps only."""
+    return time.time()  # detlint: ok[DET003] — log-envelope timestamp, never aggregated into results

@@ -1,0 +1,146 @@
+"""Live-run trace recording and the deterministic merge.
+
+Every service process appends protocol events to its own JSONL record
+log, flushed before the corresponding network effect becomes visible
+(a grant is durable before its response is sent, a delivery before its
+ack), so a ``kill -9`` can lose at most a torn final line — never an
+event some peer already acted on.
+
+Each raw record carries a **global sort key** (``gkey``) instead of a
+wall-clock time: a 5-tuple ``(epoch, major, minor, a, b)`` chosen so
+that lexicographic order over the merged logs reconstructs a legal
+serialize-order stream for the PR 7 contract checkers and the SC
+replay:
+
+* write commit at sequence *k* under epoch *e* — grant ``(e,k,0,·,·)``,
+  serialize ``(e,k,1,·,·)``, directory expansion ``(e,k,2,·,·)``, then
+  per-victim delivery/squash ``(e,k,3,victim,j)``;
+* read-only chunk observed at replica frontier *m* — ``(e,m+0.5,·,·,·)``,
+  i.e. after every write it saw and before the first it did not;
+* failover under the new epoch *e* — ``(e,-1,0..2,·,·)`` for
+  crash/reconstruct/recovered, sorting after every old-epoch event and
+  before every new-epoch grant.
+
+Epoch leads the key because a takeover is a *cut*: the new incarnation
+serializes nothing before re-admitting every survivor, so every
+new-epoch event logically follows every old-epoch one even when
+wall-clock interleaved with stragglers draining from the old epoch.
+
+The merge renumbers ``seq`` contiguously and yields schema-v2
+:class:`~repro.replay.schema.TraceRecord` objects ready for
+:func:`~repro.contracts.checker.check_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.replay.schema import TraceRecord
+
+GKey = Tuple[float, float, float, float, float]
+
+#: Minor slots within one commit's gkey group.
+GRANT, SERIALIZE, EXPAND, DELIVER = 0, 1, 2, 3
+#: Major slot for recovery events (sorts before any real sequence).
+RECOVERY_MAJOR = -1.0
+
+
+class RecordLog:
+    """Append-only, flush-per-record JSONL event log for one process."""
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+        self._ticks = 0
+
+    def tick(self) -> int:
+        """A fresh local timestamp (monotone per process, no wall clock)."""
+        self._ticks += 1
+        return self._ticks
+
+    def append(
+        self,
+        ev: str,
+        gkey: Sequence[float],
+        p: Optional[int] = None,
+        t: Optional[int] = None,
+        **data: object,
+    ) -> None:
+        if self._fh is None:
+            return
+        obj = {
+            "ev": ev,
+            "gkey": [float(x) for x in gkey],
+            "p": p,
+            "t": float(t if t is not None else self.tick()),
+            "data": data,
+        }
+        self._fh.write(json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Merge
+# ----------------------------------------------------------------------
+
+def load_raw_records(directory: str) -> List[dict]:
+    """Read every ``*.rec.jsonl`` in ``directory``, tolerating torn tails.
+
+    A process killed mid-append leaves a final partial line; that line
+    (and only that line) is dropped.  Garbage anywhere *else* is a
+    corrupt artifact and raises.
+    """
+    raw: List[dict] = []
+    names = sorted(
+        name for name in os.listdir(directory)  # detlint: ok[DET006] — sorted immediately
+        if name.endswith(".rec.jsonl")
+    )
+    if not names:
+        raise ServiceError(f"no record logs (*.rec.jsonl) under {directory!r}")
+    for file_index, name in enumerate(names):
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        for line_index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                obj = json.loads(stripped)
+            except json.JSONDecodeError:
+                if line_index == len(lines) - 1:
+                    break  # torn tail from a kill -9: the event never acted
+                raise ServiceError(f"{path}:{line_index + 1}: corrupt record line")
+            obj["_source"] = (file_index, line_index)
+            raw.append(obj)
+    return raw
+
+
+def merge_records(raw: Sequence[dict]) -> List[TraceRecord]:
+    """Sort raw records by gkey and renumber into schema-v2 records."""
+    ordered = sorted(raw, key=lambda r: (tuple(r["gkey"]), r.get("_source", (0, 0))))
+    records: List[TraceRecord] = []
+    for index, obj in enumerate(ordered):
+        records.append(
+            TraceRecord(
+                seq=index + 1,
+                t=float(obj.get("t", 0.0)),
+                ev=str(obj["ev"]),
+                p=obj.get("p"),
+                data=dict(obj.get("data", {})),
+            )
+        )
+    return records
+
+
+def load_merged_records(directory: str) -> List[TraceRecord]:
+    return merge_records(load_raw_records(directory))

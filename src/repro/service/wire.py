@@ -1,0 +1,75 @@
+"""The wire format: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by a UTF-8
+JSON object.  Every request carries an ``id`` (per-connection, assigned
+by the sender) and a ``method``; every response echoes the ``id`` and
+carries ``ok``.  The codec is deliberately tiny — framing bugs are
+transport bugs, and :class:`~repro.errors.FrameError` separates them
+from protocol-level failures.
+
+The fault proxy speaks the same codec, which is what makes its faults
+*message* faults: a dropped frame is a whole lost protocol message, not
+a torn byte stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+from repro.errors import FrameError
+
+#: Hard cap on one frame's payload; anything larger is a framing error
+#: (a desynchronized stream reads garbage lengths long before 8 MiB).
+MAX_FRAME = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(obj: dict) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse a frame payload; raises :class:`FrameError` on garbage."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise FrameError(f"frame payload is not an object: {type(obj).__name__}")
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF, :class:`FrameError` on garbage.
+
+    EOF in the *middle* of a frame is a frame error (the peer died
+    mid-message), while EOF on a frame boundary is an orderly close.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed inside a frame header")
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame declares {length} bytes (cap {MAX_FRAME})")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise FrameError("connection closed inside a frame payload")
+    return decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj: dict) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(obj))
+    await writer.drain()

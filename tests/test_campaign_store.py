@@ -186,3 +186,101 @@ class TestReportAndTraces:
         assert [t["minimized"] for t in traces] == [False, True]
         # Paths in the log are store-relative (the store directory moves).
         assert traces[0]["path"] == os.path.join("traces", "abc123.jsonl")
+
+
+class TestClaimLeases:
+    """Advisory wall-clock leases on shard claims (stale-claim detection)."""
+
+    def test_lease_expiry_recovered_from_log(self, tmp_path):
+        store = CampaignStore.create(str(tmp_path / "c"), small_spec())
+        store.append(
+            {"type": "claim", "shard": 0, "keys": ["k1", "k2"],
+             "ts": 100.0, "lease_expires_ts": 1000.0}
+        )
+        state = store.load()
+        assert state.claim_expiry == {"k1": 1000.0, "k2": 1000.0}
+        assert state.in_flight_keys == {"k1", "k2"}
+
+    def test_reclaim_refreshes_the_lease(self, tmp_path):
+        store = CampaignStore.create(str(tmp_path / "c"), small_spec())
+        store.append(
+            {"type": "claim", "shard": 0, "keys": ["k1"],
+             "ts": 100.0, "lease_expires_ts": 1000.0}
+        )
+        store.append(
+            {"type": "claim", "shard": 1, "keys": ["k1"],
+             "ts": 2000.0, "lease_expires_ts": 3000.0}
+        )
+        assert store.load().claim_expiry["k1"] == 3000.0
+
+    def test_old_claims_without_lease_still_load(self, tmp_path):
+        store = CampaignStore.create(str(tmp_path / "c"), small_spec())
+        store.append({"type": "claim", "shard": 0, "keys": ["k1"], "ts": 1.0})
+        state = store.load()
+        assert state.in_flight_keys == {"k1"}
+        assert state.claim_expiry == {}
+
+    def test_status_flags_stale_in_flight_claims(self, tmp_path):
+        import time
+
+        from repro.campaign.queue import cells_by_key, expand_cells
+        from repro.campaign.report import status_payload
+
+        spec = small_spec()
+        store = CampaignStore.create(str(tmp_path / "c"), spec)
+        cells = expand_cells(spec)
+        unique = cells_by_key(cells)
+        queue_cells = [c for c in cells if unique[c.key] is c]
+        assert len(queue_cells) >= 2
+        expired, live = queue_cells[0].key, queue_cells[1].key
+        now = time.time()
+        store.append(
+            {"type": "claim", "shard": 0, "keys": [expired],
+             "ts": now - 100, "lease_expires_ts": now - 10}
+        )
+        store.append(
+            {"type": "claim", "shard": 1, "keys": [live],
+             "ts": now, "lease_expires_ts": now + 900}
+        )
+        payload = status_payload(store, queue_cells)
+        assert payload["in_flight"] == 2
+        assert payload["stale_in_flight"] == 1
+
+    def test_resolved_claims_are_not_stale(self, tmp_path):
+        import time
+
+        from repro.campaign.queue import cells_by_key, expand_cells
+        from repro.campaign.report import status_payload
+
+        spec = small_spec()
+        store = CampaignStore.create(str(tmp_path / "c"), spec)
+        cells = expand_cells(spec)
+        unique = cells_by_key(cells)
+        queue_cells = [c for c in cells if unique[c.key] is c]
+        key = queue_cells[0].key
+        now = time.time()
+        store.append(
+            {"type": "claim", "shard": 0, "keys": [key],
+             "ts": now - 100, "lease_expires_ts": now - 10}
+        )
+        store.append(result_record(key))
+        payload = status_payload(store, queue_cells)
+        assert payload["stale_in_flight"] == 0
+
+    def test_runner_stamps_leases_on_claims(self, tmp_path):
+        from repro.campaign.runner import RunnerOptions, run_campaign
+
+        store = CampaignStore.create(str(tmp_path / "c"), small_spec())
+        run_campaign(
+            store, RunnerOptions(jobs=1, minimize=False, claim_lease=123.0)
+        )
+        claims = [
+            json.loads(line)
+            for line in open(store.log_path, encoding="utf-8")
+            if '"claim"' in line
+        ]
+        assert claims
+        for claim in claims:
+            assert claim["lease_expires_ts"] == pytest.approx(
+                claim["ts"] + 123.0
+            )

@@ -276,3 +276,44 @@ class TestParallelBitIdentity:
         assert [f.__dict__ for f in serial.failure_trace] == [
             f.__dict__ for f in fanned.failure_trace
         ]
+
+
+class TestRetryJitter:
+    """The backoff jitter: deterministic, bounded, and outcome-neutral."""
+
+    def test_jitter_schedule_is_deterministic_per_cell_and_attempt(self):
+        import random as _random
+
+        def draw(index, attempt):
+            rng = _random.Random((index + 1) * 1_000_003 + attempt)
+            return 1.0 + 0.5 * rng.random()
+
+        # Same (cell, attempt) -> same factor; schedules replay exactly.
+        assert draw(3, 1) == draw(3, 1)
+        # Different cells (and attempts) de-synchronise: a shard that
+        # kills several workers at once must not re-fork them in
+        # lockstep.
+        factors = {draw(i, 1) for i in range(8)} | {draw(0, a) for a in (1, 2, 3)}
+        assert len(factors) > 1
+        # Every factor stays within the documented [1.0, 1.5) band, so
+        # the jittered delay never undercuts the base exponential.
+        for index in range(8):
+            for attempt in (1, 2, 3):
+                assert 1.0 <= draw(index, attempt) < 1.5
+
+    @needs_fork
+    def test_jittered_retry_still_waits_at_least_the_base_backoff(self, tmp_path):
+        marker = tmp_path / "attempts"
+
+        def fragile(x):
+            attempts = len(marker.read_text()) if marker.exists() else 0
+            marker.write_text("x" * (attempts + 1))
+            if attempts < 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x + 1
+
+        start = time.monotonic()
+        assert parallel_map(fragile, [1], jobs=1, retries=2, backoff=0.05) == [2]
+        elapsed = time.monotonic() - start
+        # One retry: delay is backoff * jitter with jitter >= 1.0.
+        assert elapsed >= 0.05

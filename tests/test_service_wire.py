@@ -1,0 +1,233 @@
+"""Unit tests for the service substrate: frames, retries, merge keys.
+
+Everything here runs without sockets (or with a loopback pair at most):
+the codec, the retry policy's backoff shape, the global record merge
+keys, cluster config round-trips, and the wire-fault projection from
+the simulator's fault plans.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import ConfigError, FrameError
+from repro.faults.plan import FaultPlan
+from repro.service.cluster import (
+    ClusterConfig,
+    Endpoint,
+    build_cluster_config,
+    pick_free_ports,
+)
+from repro.service.faultproxy import WireFaults, parse_partitions
+from repro.service.records import RecordLog, load_merged_records, merge_records
+from repro.service.transport import RetryPolicy
+from repro.service.wire import MAX_FRAME, decode_payload, encode_frame
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+class TestFrameCodec:
+    def test_roundtrip(self):
+        frame = encode_frame({"id": 7, "method": "txn", "ops": [["r", 1]]})
+        assert decode_payload(frame[4:]) == {
+            "id": 7, "method": "txn", "ops": [["r", 1]],
+        }
+
+    def test_length_prefix_is_big_endian_payload_length(self):
+        frame = encode_frame({"a": 1})
+        assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+
+    def test_garbage_payload_is_frame_error(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"\xff\xfenot json")
+
+    def test_non_object_payload_is_frame_error(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"[1, 2, 3]")
+
+    def test_oversized_frame_refused_at_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_mid_frame_eof_is_frame_error(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1})[:-2])  # torn payload
+            reader.feed_eof()
+            from repro.service.wire import read_frame
+
+            with pytest.raises(FrameError):
+                await read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_eof_on_boundary_is_clean_none(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"a": 1}))
+            reader.feed_eof()
+            from repro.service.wire import read_frame
+
+            assert await read_frame(reader) == {"a": 1}
+            assert await read_frame(reader) is None
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_until_cap(self):
+        policy = RetryPolicy(base=0.01, cap=0.5, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff(n, rng) for n in range(8)]
+        assert delays[0] == pytest.approx(0.01)
+        assert delays[1] == pytest.approx(0.02)
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert max(delays) <= 0.5
+
+    def test_jitter_is_symmetric_and_bounded(self):
+        policy = RetryPolicy(base=0.02, cap=10.0, jitter=0.5)
+        rng = random.Random(1)
+        for attempt in range(6):
+            base = 0.02 * 2**attempt
+            for _ in range(50):
+                delay = policy.backoff(attempt, rng)
+                assert base * 0.5 - 1e-12 <= delay <= base * 1.5 + 1e-12
+
+    def test_jitter_actually_spreads(self):
+        policy = RetryPolicy(base=0.1, cap=10.0, jitter=0.5)
+        rng = random.Random(2)
+        draws = {policy.backoff(3, rng) for _ in range(20)}
+        assert len(draws) > 1
+
+
+# ---------------------------------------------------------------------------
+# Global merge keys
+# ---------------------------------------------------------------------------
+class TestRecordMerge:
+    def test_merge_orders_by_gkey_not_arrival(self, tmp_path):
+        a = RecordLog(str(tmp_path / "node0.rec.jsonl"))
+        b = RecordLog(str(tmp_path / "node1.rec.jsonl"))
+        # node1 flushes seq 2 before node0 flushes seq 1: disk order is
+        # the reverse of serialize order.
+        b.append("commit.serialize", (1, 2, 1, 0, 0), p=100, ops=[])
+        a.append("commit.serialize", (1, 1, 1, 0, 0), p=101, ops=[])
+        a.close()
+        b.close()
+        merged = load_merged_records(str(tmp_path))
+        assert [r.p for r in merged] == [101, 100]  # seq 1 before seq 2
+        assert [r.seq for r in merged] == [1, 2]  # renumbered contiguous
+
+    def test_epoch_dominates_major(self, tmp_path):
+        log = RecordLog(str(tmp_path / "x.rec.jsonl"))
+        log.append("chunk.grant", (2, 1, 0, 0, 0), p=20)
+        log.append("chunk.grant", (1, 99, 0, 0, 0), p=10)
+        log.close()
+        merged = load_merged_records(str(tmp_path))
+        # Epoch 1's seq 99 sorts before epoch 2's seq 1: a takeover cut.
+        assert [r.p for r in merged] == [10, 20]
+
+    def test_minor_orders_within_commit(self):
+        raw = [
+            {"ev": "dirbdm.expand", "gkey": [1, 4, 2, 0, 0], "t": 0.0,
+             "p": None, "data": {}, "_source": "a"},
+            {"ev": "chunk.grant", "gkey": [1, 4, 0, 0, 0], "t": 0.0,
+             "p": 0, "data": {}, "_source": "a"},
+            {"ev": "commit.serialize", "gkey": [1, 4, 1, 0, 0], "t": 0.0,
+             "p": 0, "data": {}, "_source": "a"},
+        ]
+        merged = merge_records(raw)
+        assert [r.ev for r in merged] == [
+            "chunk.grant", "commit.serialize", "dirbdm.expand",
+        ]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "node0.rec.jsonl"
+        log = RecordLog(str(path))
+        log.append("chunk.grant", (1, 1, 0, 0, 0), p=0)
+        log.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"ev": "chunk.grant", "gkey": [1, 2')  # kill -9 mid-write
+        merged = load_merged_records(str(tmp_path))
+        assert len(merged) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cluster config
+# ---------------------------------------------------------------------------
+class TestClusterConfig:
+    def test_save_load_roundtrip(self, tmp_path):
+        config = build_cluster_config(str(tmp_path), 2, num_standbys=1)
+        path = config.save()
+        loaded = ClusterConfig.load(path)
+        assert loaded.nodes == config.nodes
+        assert loaded.arbiters == config.arbiters
+        assert loaded.lease_timeout == config.lease_timeout
+
+    def test_lease_must_cover_heartbeats(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                service_dir=str(tmp_path),
+                nodes=(Endpoint("127.0.0.1", 1000),),
+                arbiters=(Endpoint("127.0.0.1", 1001),),
+                heartbeat_interval=0.3,
+                lease_timeout=0.4,  # < 2 heartbeats
+            ).validate()
+
+    def test_needs_at_least_one_node_and_arbiter(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                service_dir=str(tmp_path), nodes=(), arbiters=()
+            ).validate()
+
+    def test_pick_free_ports_unique(self):
+        ports = pick_free_ports(8)
+        assert len(set(ports)) == 8
+
+    def test_proxy_ports_allocated_when_requested(self, tmp_path):
+        config = build_cluster_config(str(tmp_path), 2, with_proxies=True)
+        assert config.via_proxy
+        assert all(e.proxy_port for e in config.nodes + config.arbiters)
+        direct = config.nodes[0].connect_port(False)
+        proxied = config.nodes[0].connect_port(True)
+        assert direct == config.nodes[0].port
+        assert proxied == config.nodes[0].proxy_port
+
+
+# ---------------------------------------------------------------------------
+# Wire faults
+# ---------------------------------------------------------------------------
+class TestWireFaults:
+    def test_from_plan_projects_socket_kinds(self):
+        plan = FaultPlan.parse("drop,delay,dup", rate=0.1)
+        faults = WireFaults.from_plan(plan)
+        assert faults.drop_rate == pytest.approx(0.1)
+        assert faults.delay_rate == pytest.approx(0.1)
+        assert faults.dup_rate == pytest.approx(0.1)
+        assert faults.delay_max >= faults.delay_min > 0
+
+    def test_protocol_internal_kinds_ignored(self):
+        plan = FaultPlan.parse("storm,squash")
+        faults = WireFaults.from_plan(plan)
+        assert faults == WireFaults()
+
+    def test_parse_partitions(self):
+        assert parse_partitions(["1.5:0.5", "3:1"]) == ((1.5, 0.5), (3.0, 1.0))
+
+    def test_parse_partitions_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_partitions(["nope"])
+        with pytest.raises(ConfigError):
+            parse_partitions(["1:2:3"])
+
+    def test_validate_rejects_bad_rates_and_windows(self):
+        with pytest.raises(ConfigError):
+            WireFaults(drop_rate=1.5).validate()
+        with pytest.raises(ConfigError):
+            WireFaults(delay_min=0.2, delay_max=0.1).validate()
+        with pytest.raises(ConfigError):
+            WireFaults(partitions=((-1.0, 2.0),)).validate()
