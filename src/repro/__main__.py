@@ -321,6 +321,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 top=args.top,
                 sort=args.sort,
+                as_json=args.json,
             )
         )
     except KeyError as exc:
@@ -483,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="cumulative",
         choices=["cumulative", "tottime", "calls"],
         help="pstats sort order",
+    )
+    p_prof.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (hot functions + subsystem rollup)",
     )
     p_prof.set_defaults(func=_cmd_profile)
 

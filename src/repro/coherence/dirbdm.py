@@ -89,8 +89,12 @@ class DirBDM:
         candidate_sets = w_signature.decode_sets(self.directory_sets)
         if not candidate_sets:
             return outcome
-        for entry in self.directory.entries_in_sets(candidate_sets, self.directory_sets):
-            if not w_signature.member(entry.line_addr):
+        entries = list(
+            self.directory.entries_in_sets(candidate_sets, self.directory_sets)
+        )
+        hits = w_signature.member_many([entry.line_addr for entry in entries])
+        for entry, hit in zip(entries, hits):
+            if not hit:
                 continue
             outcome.lookups += 1
             truly_written = entry.line_addr in truth

@@ -19,11 +19,11 @@ visibility only at chunk commit (paper Section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.coherence.directory import DirectoryEntry, DirectoryModule
 from repro.coherence.directory_cache import DirectoryCache
-from repro.engine.stats import StatsRegistry
+from repro.engine.stats import Counter, StatsRegistry
 from repro.interconnect.network import Network, NodeId
 from repro.interconnect.traffic import TrafficClass
 from repro.memory.address import AddressMap
@@ -112,6 +112,10 @@ class CoherenceController:
         #: Optional hook fired as ``(proc, line_addr)`` on every L1
         #: eviction; BulkSC uses it to count speculative-read displacements.
         self.eviction_observer: Optional[Callable[[int, int], None]] = None
+        # Per-level fill counters, created lazily so the stats snapshot
+        # only ever contains levels that actually fired (same keys the
+        # f-string bump produced, minus the per-miss formatting).
+        self._fill_counters: Dict[str, Counter] = {}
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -248,7 +252,12 @@ class CoherenceController:
             entry.sharers.add(proc)
             new_state = LineState.SHARED
         inserted = self._insert_l1(proc, line_addr, new_state, pinned)
-        self.stats.bump(f"coherence.fill.{level}")
+        counter = self._fill_counters.get(level)
+        if counter is None:
+            counter = self._fill_counters[level] = self.stats.counter(
+                f"coherence.fill.{level}"
+            )
+        counter.value += 1.0
         return AccessOutcome(latency, level, inserted, inv_latency=inv_latency)
 
     def _fetch_from_owner(

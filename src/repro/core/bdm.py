@@ -52,6 +52,9 @@ class BDM:
         # Cross-chunk forward log: (line, destination chunk id) entries not
         # yet reflected in the destination's R signature.
         self._forward_log: List[Tuple[int, int]] = []
+        # line -> packed Bloom mask for this machine's geometry; pure, so
+        # never invalidated (used by the pin hot path below).
+        self._pin_masks: dict = {}
 
     # ------------------------------------------------------------------
     # Chunk registration
@@ -106,11 +109,11 @@ class BDM:
         """
         truth = set(true_lines) if true_lines is not None else None
         candidate_sets = signature.decode_sets(self.cache.num_sets)
-        to_invalidate: List[int] = []
+        candidates: List[int] = []
         for set_index in candidate_sets:
             for line in self.cache.lines_in_set(set_index):
-                if signature.member(line.line_addr):
-                    to_invalidate.append(line.line_addr)
+                candidates.append(line.line_addr)
+        to_invalidate = signature.filter_members(candidates)
         unnecessary = 0
         for line_addr in to_invalidate:
             self.cache.invalidate(line_addr)
@@ -132,7 +135,18 @@ class BDM:
         for chunk in self._active_chunks:
             if not chunk.is_active:
                 continue
-            if chunk.w_sig.member(line_addr) or chunk.wpriv_sig.member(line_addr):
+            w_sig = chunk.w_sig
+            bits = getattr(w_sig, "_bits", None)
+            if bits is None:
+                # Exact (set-backed) signatures: no mask fast path.
+                if w_sig.member(line_addr) or chunk.wpriv_sig.member(line_addr):
+                    return True
+                continue
+            mask = self._pin_masks.get(line_addr)
+            if mask is None:
+                mask = w_sig._hash(line_addr)[0]
+                self._pin_masks[line_addr] = mask
+            if (bits & mask) == mask or (chunk.wpriv_sig._bits & mask) == mask:
                 return True
         return False
 

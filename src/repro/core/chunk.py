@@ -16,7 +16,6 @@ what lets the SC checker validate chunked executions end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -33,16 +32,10 @@ class ChunkState(Enum):
     SQUASHED = "squashed"
 
 
-@dataclass
-class ChunkOp:
-    """One logged memory operation, replayed into the history at commit."""
-
-    __slots__ = ("is_store", "word_addr", "value", "program_index")
-
-    is_store: bool
-    word_addr: int
-    value: int
-    program_index: int
+#: One logged memory operation, replayed into the history at commit.
+#: A plain ``(is_store, word_addr, value, program_index)`` tuple — the
+#: log grows by one entry per memory op, so construction cost matters.
+ChunkOp = Tuple[bool, int, int, int]
 
 
 class Chunk:
@@ -84,11 +77,11 @@ class Chunk:
     # Execution-side mutation
     # ------------------------------------------------------------------
     def note_load(self, word_addr: int, value: int, program_index: int) -> None:
-        self.ops.append(ChunkOp(False, word_addr, value, program_index))
+        self.ops.append((False, word_addr, value, program_index))
 
     def note_store(self, word_addr: int, value: int, program_index: int) -> None:
         self.write_buffer[word_addr] = value
-        self.ops.append(ChunkOp(True, word_addr, value, program_index))
+        self.ops.append((True, word_addr, value, program_index))
 
     def local_value(self, word_addr: int) -> Optional[int]:
         """Forward from this chunk's own write buffer."""

@@ -380,16 +380,18 @@ class CommitEngine:
         now = self.sim.now
         machine = self.machine
         machine.memory.write_many(chunk.commit_updates())
-        for op in chunk.ops:
-            machine.history.record(
-                now,
-                chunk.proc,
-                op.is_store,
-                op.word_addr,
-                op.value,
-                op.program_index,
-                chunk_id=chunk.chunk_id,
-            )
+        history = machine.history
+        if history.enabled:
+            for is_store, word_addr, value, program_index in chunk.ops:
+                history.record(
+                    now,
+                    chunk.proc,
+                    is_store,
+                    word_addr,
+                    value,
+                    program_index,
+                    chunk_id=chunk.chunk_id,
+                )
         chunk.mark(ChunkState.GRANTED)
 
     def _send_grant(self, txn: CommitTransaction) -> None:

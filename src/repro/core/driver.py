@@ -18,6 +18,7 @@ the private-data store classification of Section 5.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Deque, Optional, TYPE_CHECKING
 
@@ -39,8 +40,19 @@ from repro.cpu.isa import (
     Store,
     resolve_operand,
 )
-from repro.errors import ProgramError, SimulationError, StarvationError
+from repro.cpu.opstream import (
+    K_COMPUTE,
+    K_FENCE,
+    K_LOAD,
+    K_SLOW,
+    K_STORE,
+    V_LIT,
+    V_REGPLUS,
+    stream_for,
+)
+from repro.errors import ConfigError, ProgramError, SimulationError, StarvationError
 from repro.interconnect.network import Network
+from repro.memory.cache import LineState
 from repro.params import PrivateDataMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -92,6 +104,44 @@ class BulkSCDriver(ProcessorDriver):
         # Starvation watchdog (armed only under fault injection).
         self._starvation_strikes = 0
         self._last_progress_commits = 0
+        # Batched interpreter (docs/performance.md).  The scalar path stays
+        # authoritative for the configurations whose per-op semantics the
+        # fast path does not replicate: statically-private classification
+        # and exact (set-backed) signatures.
+        mode = os.environ.get("REPRO_INTERPRETER", "").strip() or self.config.interpreter
+        if mode not in ("batched", "scalar"):
+            raise ConfigError(f"REPRO_INTERPRETER={mode!r} (expected batched|scalar)")
+        self._batched = (
+            mode == "batched"
+            and self.private_mode is not PrivateDataMode.STATIC
+            and not self.config.signature.exact
+        )
+        self._sig_mirror = self.config.signature.track_exact
+        # line address -> packed Bloom insert mask, for this machine's
+        # signature geometry (the per-driver face of the array-signature
+        # API; see signatures/bloom.py masks_of).
+        self._mask_memo: dict = {}
+        # Hot-line memos: line -> resident CacheLine.  An entry asserts
+        # the line is L1-resident with its fetch fast-path guards held
+        # and its address already in the current chunk's R (rd) / W (wr)
+        # signature, so a repeat access skips all of that work.  Every
+        # action that could falsify an entry clears the memo: the batched
+        # loop clears after each of its own slow call-outs (fills evict,
+        # chunk switches reset signatures), and remote effects land only
+        # through on_incoming_commit / _squash_from, which clear too.
+        # Read-disable windows are re-checked per access instead.
+        self._rd_ok: dict = {}
+        self._wr_ok: dict = {}
+        # line -> (CacheLine, mask): dynamically-private repeats — the
+        # store classification is a settled no-op (Wpriv holds the line)
+        # as long as the line stays dirty and its W mask stays clear,
+        # which the fast path re-checks per store.
+        self._pv_ok: dict = {}
+        self._stream = (
+            stream_for(thread.program, self.address_map.line_shift)
+            if self._batched
+            else None
+        )
 
     # ==================================================================
     # Starvation watchdog (resilience, fault injection only)
@@ -311,6 +361,11 @@ class BulkSCDriver(ProcessorDriver):
         (correctness) and a miss is counted (it should never fire —
         validating the paper's claim that the directory filter is safe).
         """
+        # Remote commits invalidate L1 lines / directory ownership that
+        # the batched interpreter's hot-line memos rely on.
+        self._rd_ok.clear()
+        self._wr_ok.clear()
+        self._pv_ok.clear()
         w_commit = committing_chunk.w_sig
         colliding = self.bdm.disambiguate(w_commit)
         if not colliding and not on_invalidation_list:
@@ -331,6 +386,9 @@ class BulkSCDriver(ProcessorDriver):
 
     def _squash_from(self, oldest: Chunk, now: float) -> None:
         """Squash ``oldest`` and every younger local chunk, then replay."""
+        self._rd_ok.clear()
+        self._wr_ok.clear()
+        self._pv_ok.clear()
         chain = [
             c
             for c in self.bdm.active_chunks()
@@ -442,6 +500,658 @@ class BulkSCDriver(ProcessorDriver):
             assert isinstance(op, Io)
             return self._execute_io(op)
         raise ProgramError(f"unknown op kind {kind}")
+
+    # ==================================================================
+    # Batched interpreter (tentpole of docs/performance.md)
+    # ==================================================================
+    def _run_until(self, batch_end: float) -> None:
+        """Execute a pre-compiled op-stream run as one batched step.
+
+        Straight-line COMPUTE/LOAD/STORE/FENCE ops run through inlined
+        fast paths that replicate the scalar handlers' observable effects
+        exactly — same counters, same cursor arithmetic, same chunk
+        logs — while hoisting attribute lookups and method dispatch out
+        of the per-op loop.  Anything that can block or synchronize
+        (acquire, barrier, spin, I/O), and any memory op whose fetch
+        needs real coherence work (L1 miss, read-disable bounce, Wpriv
+        intervention, set overflow, dirty-nonspeculative store), falls
+        back to the scalar handlers after syncing the cached thread and
+        window state.
+
+        No simulator events fire inside a batch (commits and squashes are
+        delayed events), so thread/window/chunk state cached in locals
+        cannot be mutated behind our back; it is synced at every
+        non-inlined call and at every exit.
+        """
+        if not self._batched:
+            super()._run_until(batch_end)
+            return
+        # ---- hoisted state (live objects; mutated in place) ----
+        thread = self.thread
+        stream = self._stream
+        kinds = stream.kinds
+        argv = stream.args
+        linev = stream.lines
+        regv = stream.regs
+        vspecv = stream.vspecs
+        n = stream.length
+        program = thread.program
+        window = self.window
+        win_deque = window._window
+        iwindow = window.config.instruction_window
+        per_instr = window._per_instruction
+        l1_rt = window._l1_round_trip
+        machine = self.machine
+        proc = self.proc
+        l1 = self.coherence.l1s[proc]
+        l1_sets = l1._sets
+        set_mask = l1._set_mask
+        assoc = l1.associativity
+        l1_clock = l1._lru_clock
+        mem = self.memory
+        mem_words = mem._words
+        registers = thread.registers
+        bdm = self.bdm
+        actives = bdm._active_chunks
+        pinned = bdm.pinned
+        policy = self.policy
+        mask_memo = self._mask_memo
+        mirror = self._sig_mirror
+        dir_mask = self.address_map._dir_mask
+        dir_peeks = [d.peek for d in self.coherence.directories]
+        read_disabled = [db._read_disabled for db in machine.dirbdms]
+        committed = ChunkState.COMMITTED
+        squashed = ChunkState.SQUASHED
+        executing = ChunkState.EXECUTING
+        complete = ChunkState.COMPLETE
+        arbitrating = ChunkState.ARBITRATING
+        modified = LineState.MODIFIED
+        k_slow = K_SLOW
+        k_compute = K_COMPUTE
+        k_load = K_LOAD
+        k_store = K_STORE
+        v_lit = V_LIT
+        v_regplus = V_REGPLUS
+        rd_ok = self._rd_ok
+        wr_ok = self._wr_ok
+        pv_ok = self._pv_ok
+        # ---- cached scalars (synced to thread/window at call-outs) ----
+        # ``chunk_instr``/``l1_hits``/``mem_reads`` shadow attributes the
+        # loop bumps on every op; call-outs can both read and bump them
+        # (l1.lookup inside bulk_fetch, chunk stats at close), so every
+        # sync block writes all three back and every reload block
+        # re-reads them.
+        pc = thread.pc
+        retired = thread.retired_instructions
+        cursor = window.retire_cursor
+        win_instr = window._window_instructions
+        chunk = self._current
+        target = policy._target
+        l1_hits = l1.hits
+        mem_reads = mem.reads
+        chunk_instr = 0
+        if chunk is not None:
+            chunk_instr = chunk.instructions
+            cur_wb = chunk.write_buffer
+            cur_wb_get = cur_wb.get
+            cur_ops_append = chunk.ops.append
+        while True:
+            if pc >= n:
+                thread.pc = pc
+                thread.retired_instructions = retired
+                thread.finished = True
+                window.retire_cursor = cursor
+                window._window_instructions = win_instr
+                l1.hits = l1_hits
+                mem.reads = mem_reads
+                if chunk is not None:
+                    chunk.instructions = chunk_instr
+                self._finish()
+                return
+            kind = kinds[pc]
+            if kind == k_slow:
+                thread.pc = pc
+                thread.retired_instructions = retired
+                thread.finished = False
+                window.retire_cursor = cursor
+                window._window_instructions = win_instr
+                l1.hits = l1_hits
+                mem.reads = mem_reads
+                if chunk is not None:
+                    chunk.instructions = chunk_instr
+                if not self.execute_op(program[pc]):
+                    self.state = DriverState.BLOCKED
+                    return
+                thread.advance()
+                pc = thread.pc
+                retired = thread.retired_instructions
+                cursor = window.retire_cursor
+                win_instr = window._window_instructions
+                chunk = self._current
+                target = policy._target
+                l1_hits = l1.hits
+                mem_reads = mem.reads
+                rd_ok.clear()
+                wr_ok.clear()
+                pv_ok.clear()
+                if chunk is not None:
+                    chunk_instr = chunk.instructions
+                    cur_wb = chunk.write_buffer
+                    cur_wb_get = cur_wb.get
+                    cur_ops_append = chunk.ops.append
+                if cursor >= batch_end:
+                    break
+                continue
+            # ---- execute_op preamble: chunk slot + size boundary ----
+            if chunk is None:
+                thread.pc = pc
+                thread.retired_instructions = retired
+                thread.finished = False
+                window.retire_cursor = cursor
+                window._window_instructions = win_instr
+                l1.hits = l1_hits
+                mem.reads = mem_reads
+                if not self._ensure_chunk():
+                    self._block("slot")
+                    self.state = DriverState.BLOCKED
+                    return
+                cursor = window.retire_cursor  # pre-arbitration may stall
+                win_instr = window._window_instructions
+                chunk = self._current
+                target = policy._target
+                l1_hits = l1.hits
+                mem_reads = mem.reads
+                chunk_instr = chunk.instructions
+                rd_ok.clear()
+                wr_ok.clear()
+                pv_ok.clear()
+                cur_wb = chunk.write_buffer
+                cur_wb_get = cur_wb.get
+                cur_ops_append = chunk.ops.append
+            elif chunk_instr >= target:
+                thread.pc = pc
+                thread.retired_instructions = retired
+                thread.finished = False
+                window.retire_cursor = cursor
+                window._window_instructions = win_instr
+                l1.hits = l1_hits
+                mem.reads = mem_reads
+                chunk.instructions = chunk_instr
+                self._close_current("size")
+                if not self._ensure_chunk():
+                    self._block("slot")
+                    self.state = DriverState.BLOCKED
+                    return
+                cursor = window.retire_cursor
+                win_instr = window._window_instructions
+                chunk = self._current
+                target = policy._target
+                l1_hits = l1.hits
+                mem_reads = mem.reads
+                chunk_instr = chunk.instructions
+                rd_ok.clear()
+                wr_ok.clear()
+                pv_ok.clear()
+                cur_wb = chunk.write_buffer
+                cur_wb_get = cur_wb.get
+                cur_ops_append = chunk.ops.append
+            if kind == k_compute:
+                cnt = argv[pc]
+                cursor += cnt * per_instr
+                win_deque.append((cursor, cnt))
+                win_instr += cnt
+                while win_deque and win_instr - win_deque[0][1] >= iwindow:
+                    win_instr -= win_deque.popleft()[1]
+                chunk_instr += cnt
+                retired += cnt
+                pc += 1
+                if cursor >= batch_end:
+                    break
+                continue
+            if kind == k_load:
+                addr = argv[pc]
+                line = linev[pc]
+                di = line & dir_mask
+                cl = rd_ok.get(line)
+                if cl is not None and not read_disabled[di]:
+                    # Memoized repeat: line resident, fetch guards held,
+                    # already in this chunk's R signature (see _rd_ok).
+                    value = cur_wb_get(addr)
+                    if value is None:
+                        if len(actives) == 1:
+                            mem_reads += 1
+                            value = mem_words.get(addr, 0)
+                        else:
+                            source = None
+                            for c in reversed(actives):
+                                st = c.state
+                                if st is committed or st is squashed:
+                                    continue
+                                v = c.write_buffer.get(addr)
+                                if v is not None:
+                                    value = v
+                                    source = c
+                                    break
+                            if source is None:
+                                mem_reads += 1
+                                value = mem_words.get(addr, 0)
+                            elif source is not chunk:
+                                bdm.log_forward(line, chunk.chunk_id)
+                    cl.lru_stamp = next(l1_clock)
+                    l1_hits += 1
+                    if win_instr < iwindow:
+                        completion = l1_rt
+                    else:
+                        rt0, c0 = win_deque[0]
+                        fetch_start = (
+                            rt0 - (iwindow - (win_instr - c0)) * per_instr
+                        )
+                        if fetch_start < 0.0:
+                            fetch_start = 0.0
+                        completion = fetch_start + l1_rt
+                    pipeline = cursor + per_instr
+                    cursor = completion if completion > pipeline else pipeline
+                    win_deque.append((cursor, 1))
+                    win_instr += 1
+                    while (
+                        win_deque
+                        and win_instr - win_deque[0][1] >= iwindow
+                    ):
+                        win_instr -= win_deque.popleft()[1]
+                    registers[regv[pc]] = value
+                    cur_ops_append((False, addr, value, pc))
+                    chunk_instr += 1
+                    retired += 1
+                    pc += 1
+                    if cursor >= batch_end:
+                        break
+                    continue
+                # Set-overflow guard (cache.would_overflow + bdm.pinned).
+                cset = l1_sets.get(line & set_mask)
+                if cset is not None and line not in cset and len(cset) >= assoc:
+                    all_pinned = True
+                    for resident in cset:
+                        rm = mask_memo.get(resident)
+                        if rm is None:
+                            rm = chunk.r_sig._hash(resident)[0]
+                            mask_memo[resident] = rm
+                        resident_pinned = False
+                        for c in actives:
+                            st = c.state
+                            if (
+                                st is executing
+                                or st is complete
+                                or st is arbitrating
+                            ) and (
+                                (c.w_sig._bits & rm) == rm
+                                or (c.wpriv_sig._bits & rm) == rm
+                            ):
+                                resident_pinned = True
+                                break
+                        if not resident_pinned:
+                            all_pinned = False
+                            break
+                    if all_pinned:
+                        thread.pc = pc
+                        thread.retired_instructions = retired
+                        thread.finished = False
+                        window.retire_cursor = cursor
+                        window._window_instructions = win_instr
+                        l1.hits = l1_hits
+                        mem.reads = mem_reads
+                        chunk.instructions = chunk_instr
+                        if not self._check_overflow(line):
+                            self.state = DriverState.BLOCKED
+                            return
+                        cursor = window.retire_cursor
+                        win_instr = window._window_instructions
+                        chunk = self._current
+                        target = policy._target
+                        l1_hits = l1.hits
+                        mem_reads = mem.reads
+                        chunk_instr = chunk.instructions
+                        rd_ok.clear()
+                        wr_ok.clear()
+                        pv_ok.clear()
+                        cur_wb = chunk.write_buffer
+                        cur_wb_get = cur_wb.get
+                        cur_ops_append = chunk.ops.append
+                        cset = l1_sets.get(line & set_mask)
+                # R signature + ground truth (signatures/bloom insert).
+                rm = mask_memo.get(line)
+                if rm is None:
+                    rm = chunk.r_sig._hash(line)[0]
+                    mask_memo[line] = rm
+                r_sig = chunk.r_sig
+                r_sig._bits |= rm
+                if mirror:
+                    r_sig._exact.add(line)
+                chunk.true_read_lines.add(line)
+                # Forward from local chunk write buffers, else memory.
+                value = None
+                source = None
+                for c in reversed(actives):
+                    st = c.state
+                    if st is committed or st is squashed:
+                        continue
+                    v = c.write_buffer.get(addr)
+                    if v is not None:
+                        value = v
+                        source = c
+                        break
+                if source is None:
+                    mem_reads += 1
+                    value = mem_words.get(addr, 0)
+                elif source is not chunk:
+                    bdm.log_forward(line, chunk.chunk_id)
+                # Fetch: inline only the interception-free L1 hit.
+                cl = cset.get(line) if cset is not None else None
+                hit = False
+                if cl is not None and not read_disabled[di]:
+                    entry = dir_peeks[di](line)
+                    if (
+                        entry is None
+                        or not entry.dirty
+                        or entry.owner is None
+                        or entry.owner == proc
+                    ):
+                        cl.lru_stamp = next(l1_clock)
+                        l1_hits += 1
+                        # Blocking retire at L1 latency (retire_memory hit
+                        # path, decode_time in its O(1) oldest-entry form).
+                        if win_instr < iwindow:
+                            completion = l1_rt
+                        else:
+                            rt0, c0 = win_deque[0]
+                            fetch_start = (
+                                rt0 - (iwindow - (win_instr - c0)) * per_instr
+                            )
+                            if fetch_start < 0.0:
+                                fetch_start = 0.0
+                            completion = fetch_start + l1_rt
+                        pipeline = cursor + per_instr
+                        cursor = (
+                            completion if completion > pipeline else pipeline
+                        )
+                        win_deque.append((cursor, 1))
+                        win_instr += 1
+                        while (
+                            win_deque
+                            and win_instr - win_deque[0][1] >= iwindow
+                        ):
+                            win_instr -= win_deque.popleft()[1]
+                        hit = True
+                        rd_ok[line] = cl
+                if not hit:
+                    thread.pc = pc
+                    thread.retired_instructions = retired
+                    thread.finished = False
+                    window.retire_cursor = cursor
+                    window._window_instructions = win_instr
+                    l1.hits = l1_hits
+                    mem.reads = mem_reads
+                    chunk.instructions = chunk_instr
+                    outcome = machine.bulk_fetch(proc, line, cursor, pinned)
+                    window.retire_memory(
+                        outcome.latency, blocking=True, line_addr=line
+                    )
+                    cursor = window.retire_cursor
+                    win_instr = window._window_instructions
+                    l1_hits = l1.hits
+                    mem_reads = mem.reads
+                    chunk_instr = chunk.instructions
+                    rd_ok.clear()
+                    wr_ok.clear()
+                    pv_ok.clear()
+                registers[regv[pc]] = value
+                chunk.ops.append((False, addr, value, pc))
+                chunk_instr += 1
+                retired += 1
+                pc += 1
+                if cursor >= batch_end:
+                    break
+                continue
+            if kind == k_store:
+                addr = argv[pc]
+                line = linev[pc]
+                di = line & dir_mask
+                cl = wr_ok.get(line)
+                if cl is None:
+                    ent = pv_ok.get(line)
+                    if ent is not None:
+                        # Wpriv repeat: classification stays a no-op only
+                        # while the line is still dirty and its W mask is
+                        # still clear (else scalar re-routes the store).
+                        pcl, prm = ent
+                        if pcl.state is modified and (
+                            chunk.w_sig._bits & prm
+                        ) != prm:
+                            cl = pcl
+                if cl is not None and not read_disabled[di]:
+                    # Memoized repeat: resident, guards held, and the
+                    # W/Wpriv classification is settled for this chunk.
+                    vs = vspecv[pc]
+                    vk = vs[0]
+                    if vk == v_lit:
+                        value = vs[1]
+                    else:
+                        value = registers.get(vs[1])
+                        if value is None:
+                            thread.pc = pc
+                            thread.retired_instructions = retired
+                            thread.finished = False
+                            window.retire_cursor = cursor
+                            window._window_instructions = win_instr
+                            l1.hits = l1_hits
+                            mem.reads = mem_reads
+                            chunk.instructions = chunk_instr
+                            resolve_operand(program[pc].value, registers)
+                            raise ProgramError(
+                                f"unresolvable store operand at pc {pc}"
+                            )
+                        if vk == v_regplus:
+                            value = value + vs[2]
+                    cl.lru_stamp = next(l1_clock)
+                    l1_hits += 1
+                    cursor += per_instr
+                    win_deque.append((cursor, 1))
+                    win_instr += 1
+                    while (
+                        win_deque
+                        and win_instr - win_deque[0][1] >= iwindow
+                    ):
+                        win_instr -= win_deque.popleft()[1]
+                    cur_wb[addr] = value
+                    cur_ops_append((True, addr, value, pc))
+                    chunk_instr += 1
+                    retired += 1
+                    pc += 1
+                    if cursor >= batch_end:
+                        break
+                    continue
+                # Set-overflow guard (identical to the load path).
+                cset = l1_sets.get(line & set_mask)
+                if cset is not None and line not in cset and len(cset) >= assoc:
+                    all_pinned = True
+                    for resident in cset:
+                        rm = mask_memo.get(resident)
+                        if rm is None:
+                            rm = chunk.r_sig._hash(resident)[0]
+                            mask_memo[resident] = rm
+                        resident_pinned = False
+                        for c in actives:
+                            st = c.state
+                            if (
+                                st is executing
+                                or st is complete
+                                or st is arbitrating
+                            ) and (
+                                (c.w_sig._bits & rm) == rm
+                                or (c.wpriv_sig._bits & rm) == rm
+                            ):
+                                resident_pinned = True
+                                break
+                        if not resident_pinned:
+                            all_pinned = False
+                            break
+                    if all_pinned:
+                        thread.pc = pc
+                        thread.retired_instructions = retired
+                        thread.finished = False
+                        window.retire_cursor = cursor
+                        window._window_instructions = win_instr
+                        l1.hits = l1_hits
+                        mem.reads = mem_reads
+                        chunk.instructions = chunk_instr
+                        if not self._check_overflow(line):
+                            self.state = DriverState.BLOCKED
+                            return
+                        cursor = window.retire_cursor
+                        win_instr = window._window_instructions
+                        chunk = self._current
+                        target = policy._target
+                        l1_hits = l1.hits
+                        mem_reads = mem.reads
+                        chunk_instr = chunk.instructions
+                        rd_ok.clear()
+                        wr_ok.clear()
+                        pv_ok.clear()
+                        cur_wb = chunk.write_buffer
+                        cur_wb_get = cur_wb.get
+                        cur_ops_append = chunk.ops.append
+                        cset = l1_sets.get(line & set_mask)
+                # Store value (resolve_operand, pre-split).
+                vs = vspecv[pc]
+                vk = vs[0]
+                if vk == v_lit:
+                    value = vs[1]
+                else:
+                    value = registers.get(vs[1])
+                    if value is None:
+                        thread.pc = pc
+                        thread.retired_instructions = retired
+                        thread.finished = False
+                        window.retire_cursor = cursor
+                        window._window_instructions = win_instr
+                        l1.hits = l1_hits
+                        mem.reads = mem_reads
+                        chunk.instructions = chunk_instr
+                        resolve_operand(program[pc].value, registers)  # raises
+                        raise ProgramError(
+                            f"unresolvable store operand at pc {pc}"
+                        )
+                    if vk == v_regplus:
+                        value = value + vs[2]
+                # Classify into W (the dirty-nonspeculative cases — private
+                # buffering / eager writeback — go through the scalar path).
+                rm = mask_memo.get(line)
+                if rm is None:
+                    rm = chunk.r_sig._hash(line)[0]
+                    mask_memo[line] = rm
+                cl = cset.get(line) if cset is not None else None
+                w_sig = chunk.w_sig
+                if (
+                    cl is not None
+                    and cl.state is modified
+                    and (w_sig._bits & rm) != rm
+                ):
+                    thread.pc = pc
+                    thread.retired_instructions = retired
+                    thread.finished = False
+                    window.retire_cursor = cursor
+                    window._window_instructions = win_instr
+                    l1.hits = l1_hits
+                    mem.reads = mem_reads
+                    chunk.instructions = chunk_instr
+                    self._classify_store(chunk, addr, line)
+                    cursor = window.retire_cursor
+                    win_instr = window._window_instructions
+                    l1_hits = l1.hits
+                    mem_reads = mem.reads
+                    chunk_instr = chunk.instructions
+                else:
+                    w_sig._bits |= rm
+                    if mirror:
+                        w_sig._exact.add(line)
+                    chunk.true_written_lines.add(line)
+                # Fetch: inline only the interception-free L1 hit; stores
+                # retire wait-free (non-blocking).
+                hit = False
+                if cl is not None and not read_disabled[di]:
+                    entry = dir_peeks[di](line)
+                    if (
+                        entry is None
+                        or not entry.dirty
+                        or entry.owner is None
+                        or entry.owner == proc
+                    ):
+                        cl.lru_stamp = next(l1_clock)
+                        l1_hits += 1
+                        cursor += per_instr
+                        win_deque.append((cursor, 1))
+                        win_instr += 1
+                        while (
+                            win_deque
+                            and win_instr - win_deque[0][1] >= iwindow
+                        ):
+                            win_instr -= win_deque.popleft()[1]
+                        hit = True
+                        if (w_sig._bits & rm) == rm:
+                            # Require the true set, not just mask bits:
+                            # an aliased W test must keep replaying the
+                            # scalar insert (it mutates the W mirror).
+                            if line in chunk.true_written_lines:
+                                wr_ok[line] = cl
+                        elif (
+                            (chunk.wpriv_sig._bits & rm) == rm
+                            and cl.state is modified
+                        ):
+                            pv_ok[line] = (cl, rm)
+                if not hit:
+                    thread.pc = pc
+                    thread.retired_instructions = retired
+                    thread.finished = False
+                    window.retire_cursor = cursor
+                    window._window_instructions = win_instr
+                    l1.hits = l1_hits
+                    mem.reads = mem_reads
+                    chunk.instructions = chunk_instr
+                    outcome = machine.bulk_fetch(proc, line, cursor, pinned)
+                    window.retire_memory(
+                        outcome.latency, blocking=False, line_addr=line
+                    )
+                    cursor = window.retire_cursor
+                    win_instr = window._window_instructions
+                    l1_hits = l1.hits
+                    mem_reads = mem.reads
+                    chunk_instr = chunk.instructions
+                    rd_ok.clear()
+                    wr_ok.clear()
+                    pv_ok.clear()
+                chunk.write_buffer[addr] = value
+                chunk.ops.append((True, addr, value, pc))
+                chunk_instr += 1
+                retired += 1
+                pc += 1
+                if cursor >= batch_end:
+                    break
+                continue
+            # K_FENCE: BulkSC needs no fence work, just chunk accounting.
+            chunk_instr += 1
+            retired += 1
+            pc += 1
+            if cursor >= batch_end:
+                break
+        # Batch budget exhausted: sync and yield to the event loop.
+        thread.pc = pc
+        thread.retired_instructions = retired
+        thread.finished = pc >= n
+        window.retire_cursor = cursor
+        window._window_instructions = win_instr
+        l1.hits = l1_hits
+        mem.reads = mem_reads
+        if chunk is not None:
+            chunk.instructions = chunk_instr
 
     # ------------------------------------------------------------------
     def _check_overflow(self, line: int) -> bool:

@@ -71,7 +71,18 @@ class ProcessorDriver(ABC):
         self._step_scheduled = False
         if self.state is not DriverState.RUNNING:
             return
-        batch_end = self.window.now + self.batch_cycles
+        self._run_until(self.window.now + self.batch_cycles)
+        if self.state is DriverState.RUNNING:
+            self._schedule_step(self.window.now)
+
+    def _run_until(self, batch_end: float) -> None:
+        """Execute ops until the cursor passes ``batch_end``, blocks, or ends.
+
+        This is the scalar reference interpreter: one dispatch through
+        :meth:`execute_op` per micro-op.  Models may override it with a
+        batched implementation, provided the result is bit-identical
+        (same stats, same traces, same blocking points).
+        """
         while self.state is DriverState.RUNNING:
             op = self.thread.current_op()
             if op is None:
@@ -86,8 +97,6 @@ class ProcessorDriver(ABC):
             self.thread.advance()
             if self.window.now >= batch_end:
                 break
-        if self.state is DriverState.RUNNING:
-            self._schedule_step(self.window.now)
 
     def _finish(self) -> None:
         if self.state is DriverState.FINISHED:

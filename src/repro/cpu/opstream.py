@@ -1,0 +1,169 @@
+"""Pre-compiled flat op-streams for the batched interpreter.
+
+A :class:`ThreadProgram` is immutable, so the per-op work the scalar
+interpreter repeats on every execution — ``isinstance`` dispatch on the
+op dataclass, ``resolve_operand`` type tests, ``line_of`` shifts — can be
+done once, ahead of time.  :func:`stream_for` lowers a program into
+parallel tuples of small-int kind codes and pre-split arguments (the
+same flattening the paper applies to memory accesses: per-item
+bookkeeping is hoisted out of the hot loop and amortized over the whole
+chunk).
+
+Only the four straight-line kinds get fast-path codes; everything that
+can block or synchronize (acquire, barrier, spin, I/O) is marked
+``K_SLOW`` and executed by the scalar interpreter, which keeps the
+batched loop free of rarely-taken control flow.
+
+``LockRelease`` lowers to a plain store of the literal 0: the scalar
+release handler is the store handler with a pre-resolved value, so the
+lowering is exact (and keeps releases on the fast path — they are how
+workloads hand locks over).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cpu.isa import (
+    Compute,
+    Fence,
+    Load,
+    LockRelease,
+    OpKind,
+    Reg,
+    RegPlus,
+    Store,
+)
+from repro.cpu.thread import ThreadProgram
+
+# Op kind codes (parallel `kinds` array).
+K_COMPUTE = 0
+K_LOAD = 1
+K_STORE = 2
+K_FENCE = 3
+K_SLOW = 4  # acquire / barrier / spin / io: scalar fallback
+
+# Store-value spec codes (first element of a `vspecs` entry).
+V_LIT = 0  # (V_LIT, value, 0)
+V_REG = 1  # (V_REG, reg_name, 0)
+V_REGPLUS = 2  # (V_REGPLUS, reg_name, addend)
+
+
+class OpStream:
+    """One program lowered to parallel arrays, for one line geometry."""
+
+    __slots__ = ("length", "line_shift", "kinds", "args", "lines", "regs", "vspecs")
+
+    def __init__(
+        self,
+        length: int,
+        line_shift: int,
+        kinds: Tuple[int, ...],
+        args: Tuple[int, ...],
+        lines: Tuple[int, ...],
+        regs: Tuple[Optional[str], ...],
+        vspecs: Tuple[Optional[tuple], ...],
+    ):
+        self.length = length
+        self.line_shift = line_shift
+        #: Kind code per op (K_*).
+        self.kinds = kinds
+        #: COMPUTE: burst count; LOAD/STORE: word address; else 0.
+        self.args = args
+        #: Pre-shifted line address for memory ops; 0 otherwise.
+        self.lines = lines
+        #: Destination register name for LOAD; None otherwise.
+        self.regs = regs
+        #: Pre-split store-value spec (V_* triple) for STORE; None otherwise.
+        self.vspecs = vspecs
+
+
+def _lower(program: ThreadProgram, line_shift: int) -> OpStream:
+    kinds = []
+    args = []
+    lines = []
+    regs = []
+    vspecs = []
+    for op in program:
+        kind = op.kind
+        if kind is OpKind.COMPUTE:
+            assert isinstance(op, Compute)
+            kinds.append(K_COMPUTE)
+            args.append(op.count)
+            lines.append(0)
+            regs.append(None)
+            vspecs.append(None)
+        elif kind is OpKind.LOAD:
+            assert isinstance(op, Load)
+            kinds.append(K_LOAD)
+            args.append(op.addr)
+            lines.append(op.addr >> line_shift)
+            regs.append(op.reg)
+            vspecs.append(None)
+        elif kind is OpKind.STORE:
+            assert isinstance(op, Store)
+            value = op.value
+            if isinstance(value, int):
+                vspec = (V_LIT, value, 0)
+            elif isinstance(value, Reg):
+                vspec = (V_REG, value.name, 0)
+            elif isinstance(value, RegPlus):
+                vspec = (V_REGPLUS, value.name, value.addend)
+            else:  # unknown operand type: let the scalar path raise
+                kinds.append(K_SLOW)
+                args.append(0)
+                lines.append(0)
+                regs.append(None)
+                vspecs.append(None)
+                continue
+            kinds.append(K_STORE)
+            args.append(op.addr)
+            lines.append(op.addr >> line_shift)
+            regs.append(None)
+            vspecs.append(vspec)
+        elif kind is OpKind.RELEASE:
+            assert isinstance(op, LockRelease)
+            kinds.append(K_STORE)
+            args.append(op.addr)
+            lines.append(op.addr >> line_shift)
+            regs.append(None)
+            vspecs.append((V_LIT, 0, 0))
+        elif kind is OpKind.FENCE:
+            assert isinstance(op, Fence)
+            kinds.append(K_FENCE)
+            args.append(0)
+            lines.append(0)
+            regs.append(None)
+            vspecs.append(None)
+        else:
+            kinds.append(K_SLOW)
+            args.append(0)
+            lines.append(0)
+            regs.append(None)
+            vspecs.append(None)
+    return OpStream(
+        len(kinds),
+        line_shift,
+        tuple(kinds),
+        tuple(args),
+        tuple(lines),
+        tuple(regs),
+        tuple(vspecs),
+    )
+
+
+def stream_for(program: ThreadProgram, line_shift: int) -> OpStream:
+    """The lowered stream for ``program``, memoized on the program.
+
+    The lowering is pure per ``(program, line_shift)``; the memo lives on
+    the (immutable) program object so repeated runs of the same workload
+    compile once.
+    """
+    cache = getattr(program, "_op_stream_cache", None)
+    if cache is None:
+        cache = {}
+        program._op_stream_cache = cache  # type: ignore[attr-defined]
+    stream = cache.get(line_shift)
+    if stream is None:
+        stream = cache[line_shift] = _lower(program, line_shift)
+    return stream

@@ -56,13 +56,13 @@ class RetirementWindow:
         need = self.config.instruction_window
         if self._window_instructions < need:
             return 0.0
-        accumulated = 0
-        for retire_time, count in reversed(self._window):
-            if accumulated + count >= need:
-                into_entry = need - accumulated
-                return max(0.0, retire_time - into_entry * self._per_instruction)
-            accumulated += count
-        return 0.0
+        # :meth:`_push` trims the ring so that the window *minus its
+        # oldest entry* always holds fewer than ``need`` instructions —
+        # the op ``need`` back therefore always falls in the oldest
+        # entry, making this O(1) rather than a walk.
+        retire_time, count = self._window[0]
+        into_entry = need - (self._window_instructions - count)
+        return max(0.0, retire_time - into_entry * self._per_instruction)
 
     def _push(self, retire_time: float, instructions: int) -> None:
         self._window.append((retire_time, instructions))

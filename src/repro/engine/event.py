@@ -1,15 +1,29 @@
-"""Events and the event queue.
+"""Events and the coalesced event queue.
 
 Events are ordered by ``(time, priority, sequence)``.  The sequence number
 makes ordering total and deterministic: two events scheduled for the same
 cycle with the same priority fire in the order they were scheduled.
+
+The queue is *coalesced*: instead of one global heap entry per event, a
+small heap of distinct cycle keys points at per-cycle buckets.  Most
+simulation traffic schedules many events at the same instant (a commit's
+fan-out of invalidations, a batch of processor steps), so the global heap
+stays tiny and each push/pop degenerates to an append/heap-op on a bucket
+of a few entries — the same bulk principle the simulated hardware applies
+to memory accesses.
+
+Cancellation stays O(1) and lazy, but no longer leaks: once the number of
+cancelled-but-still-queued events crosses a threshold (and outnumbers the
+live ones), the queue compacts, dropping every dead entry in one sweep.
+``compactions`` and ``cancelled_live`` are exported into the run's stats
+by :class:`~repro.engine.simulator.Simulator`.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 
 class Event:
@@ -43,8 +57,9 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped.
 
-        Cancellation is O(1); the heap entry is lazily discarded.  Calling
-        ``cancel`` more than once is harmless.
+        Cancellation is O(1); the queue entry is lazily discarded (and
+        reclaimed wholesale once enough dead entries accumulate).
+        Calling ``cancel`` more than once is harmless.
         """
         if not self.cancelled:
             self.cancelled = True
@@ -63,12 +78,28 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic coalesced min-queue of :class:`Event` objects.
+
+    Structure: ``_times`` is a heap of distinct fire cycles; ``_buckets``
+    maps each cycle to a per-cycle heap of events ordered by
+    ``(priority, seq)`` (all entries share the cycle, so ``Event.__lt__``
+    reduces to exactly that).  The documented total order
+    ``(time, priority, seq)`` is preserved bit-for-bit.
+    """
+
+    #: Compact once this many cancelled events are queued *and* they
+    #: outnumber the live ones.  Keeps the sweep amortized-O(1) per
+    #: cancellation while bounding the queue to O(live).
+    COMPACT_THRESHOLD = 1024
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._times: list[float] = []  # heap of distinct cycle keys
+        self._buckets: dict[float, list[Event]] = {}  # cycle -> event heap
         self._counter = itertools.count()
         self._live = 0
+        self._cancelled_live = 0
+        #: Total lazily-cancelled entries reclaimed by compaction sweeps.
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -76,8 +107,34 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def cancelled_live(self) -> int:
+        """Cancelled events still occupying queue entries."""
+        return self._cancelled_live
+
     def _note_cancel(self) -> None:
         self._live -= 1
+        self._cancelled_live += 1
+        if (
+            self._cancelled_live >= self.COMPACT_THRESHOLD
+            and self._cancelled_live > self._live
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry in one sweep (bounds queue size)."""
+        buckets = self._buckets
+        for time in list(buckets):
+            kept = [e for e in buckets[time] if not e.cancelled]
+            if kept:
+                heapq.heapify(kept)
+                buckets[time] = kept
+            else:
+                del buckets[time]
+        self._times = list(buckets)
+        heapq.heapify(self._times)
+        self._cancelled_live = 0
+        self.compactions += 1
 
     def push(self, event: Event) -> Event:
         """Insert ``event`` and return it (so callers can keep a handle)."""
@@ -85,7 +142,12 @@ class EventQueue:
             raise ValueError("cannot schedule a cancelled event")
         event.seq = next(self._counter)
         event._queue = self
-        heapq.heappush(self._heap, event)
+        bucket = self._buckets.get(event.time)
+        if bucket is None:
+            self._buckets[event.time] = [event]
+            heapq.heappush(self._times, event.time)
+        else:
+            heapq.heappush(bucket, event)
         self._live += 1
         return event
 
@@ -94,23 +156,57 @@ class EventQueue:
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            event._queue = None
-            return event
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets.get(time)
+            while bucket:
+                event = heapq.heappop(bucket)
+                if event.cancelled:
+                    self._cancelled_live -= 1
+                    continue
+                if not bucket:
+                    heapq.heappop(times)
+                    del buckets[time]
+                self._live -= 1
+                event._queue = None
+                return event
+            # Bucket drained (or missing after a compaction race): retire
+            # the time key and move on.
+            heapq.heappop(times)
+            buckets.pop(time, None)
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the fire time of the earliest live event without popping."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets.get(time)
+            while bucket and bucket[0].cancelled:
+                self._cancelled_live -= 1
+                heapq.heappop(bucket)
+            if bucket:
+                return time
+            heapq.heappop(times)
+            buckets.pop(time, None)
+        return None
+
+    def live_events(self) -> Iterator[Event]:
+        """Iterate the live (non-cancelled) queued events, unordered."""
+        for bucket in self._buckets.values():
+            for event in bucket:
+                if not event.cancelled:
+                    yield event
+
+    def entry_count(self) -> int:
+        """Queued entries including lazily-cancelled ones (size bound)."""
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     def clear(self) -> None:
-        self._heap.clear()
+        self._times.clear()
+        self._buckets.clear()
         self._live = 0
+        self._cancelled_live = 0

@@ -34,6 +34,8 @@ class Simulator:
         self.rng = DeterministicRng(seed)
         self._events_fired = 0
         self._stop_requested = False
+        self._exported_compactions = 0
+        self._exported_cancelled = 0
         self._end_hooks: list[Callable[[], None]] = []
         self._diagnostic_providers: list[Callable[[], str]] = []
 
@@ -93,7 +95,7 @@ class Simulator:
             f"exceeded max_events={max_events} at cycle {self.now}; likely livelock",
             f"rng draws consumed: {self.rng.draws}",
         ]
-        pending = [e for e in self.queue._heap if not e.cancelled]
+        pending = list(self.queue.live_events())
         if pending:
             # Group labels with instance numbers normalized away so
             # "commit17.decide" and "commit41.decide" count together.
@@ -142,9 +144,26 @@ class Simulator:
             if self._events_fired > max_events:
                 raise LivelockError(self._livelock_report(max_events))
             event.action()
+        self._export_queue_stats()
         for hook in self._end_hooks:
             hook()
         return self.now
+
+    def _export_queue_stats(self) -> None:
+        """Record queue compaction activity as deterministic counters.
+
+        Compactions depend only on the simulated cancel pattern, so they
+        are safe in the deterministic snapshot.  The counters are created
+        lazily — runs that never compact keep their snapshot unchanged.
+        """
+        delta = self.queue.compactions - self._exported_compactions
+        if delta:
+            self.stats.bump("queue.compactions", delta)
+            self._exported_compactions = self.queue.compactions
+        delta = self.queue.cancelled_live - self._exported_cancelled
+        if delta or self._exported_cancelled:
+            self.stats.bump("queue.cancelled_live", delta)
+            self._exported_cancelled = self.queue.cancelled_live
 
     @property
     def events_fired(self) -> int:

@@ -231,8 +231,16 @@ def profile_run(
     seed: int = 0,
     top: int = 25,
     sort: str = "cumulative",
+    as_json: bool = False,
 ) -> str:
-    """Run one workload under :mod:`cProfile`; return the top-N report."""
+    """Run one workload under :mod:`cProfile`; return the top-N report.
+
+    The text report is the classic pstats table followed by a rollup of
+    ``tottime`` per simulator subsystem (``cpu``/``engine``/
+    ``signatures``/``core``/...).  With ``as_json`` the same data is
+    returned as a machine-readable JSON document instead (consumed by the
+    CI perf-smoke artifact).
+    """
     import cProfile
     import io
     import pstats
@@ -265,4 +273,93 @@ def profile_run(
     out = io.StringIO()
     stats = pstats.Stats(profiler, stream=out)
     stats.sort_stats(sort).print_stats(top)
-    return out.getvalue()
+    report = out.getvalue()
+    data = profile_data(stats, top=top, sort=sort)
+    data["target"] = target
+    data["config"] = config_name
+    if as_json:
+        import json
+
+        return json.dumps(data, indent=2, sort_keys=True)
+    return report + "\n" + format_subsystems(data)
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a profiled filename onto a simulator subsystem bucket.
+
+    Files under ``repro/<package>/`` group by package (``cpu``,
+    ``engine``, ``signatures``, ``core``, ...); ``repro``-level modules
+    (``system.py``, ``params.py``) report as ``repro``, and everything
+    outside the tree (stdlib, builtins) as ``other``.
+    """
+    normalized = filename.replace("\\", "/")
+    marker = "/repro/"
+    at = normalized.rfind(marker)
+    if at < 0:
+        return "other"
+    tail = normalized[at + len(marker):]
+    if "/" in tail:
+        return tail.split("/", 1)[0]
+    return "repro"
+
+
+def profile_data(stats, top: int = 25, sort: str = "cumulative") -> dict:
+    """Structured view of a :class:`pstats.Stats`: hot rows + subsystems.
+
+    Returns a JSON-ready dict with the ``top`` functions under the given
+    sort order and cumulative time per simulator subsystem (the
+    ``tottime`` sum over each package's functions, so subsystem numbers
+    add up to the run total instead of double-counting callees).
+    """
+    sort_key = {"cumulative": "cumtime", "tottime": "tottime", "calls": "calls"}[sort]
+    rows = []
+    subsystems: dict = {}
+    total_tottime = 0.0
+    total_calls = 0
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        subsystem = _subsystem_of(filename)
+        rows.append(
+            {
+                "function": func,
+                "file": filename,
+                "line": line,
+                "subsystem": subsystem,
+                "calls": nc,
+                "primitive_calls": cc,
+                "tottime": tt,
+                "cumtime": ct,
+            }
+        )
+        bucket = subsystems.setdefault(
+            subsystem, {"tottime": 0.0, "calls": 0, "functions": 0}
+        )
+        bucket["tottime"] += tt
+        bucket["calls"] += nc
+        bucket["functions"] += 1
+        total_tottime += tt
+        total_calls += nc
+    rows.sort(key=lambda row: (row[sort_key], row["file"], row["function"]), reverse=True)
+    return {
+        "sort": sort,
+        "total_tottime": total_tottime,
+        "total_calls": total_calls,
+        "top": rows[:top],
+        "subsystems": subsystems,
+    }
+
+
+def format_subsystems(data: dict) -> str:
+    """Render the per-subsystem rollup as an aligned text table."""
+    total = data["total_tottime"] or 1.0
+    lines = ["time by subsystem (tottime, so rows sum to the total):"]
+    ordered = sorted(
+        data["subsystems"].items(), key=lambda kv: kv[1]["tottime"], reverse=True
+    )
+    for name, bucket in ordered:
+        lines.append(
+            f"  {name:<12} {bucket['tottime']:8.3f}s "
+            f"{100.0 * bucket['tottime'] / total:5.1f}%  "
+            f"{bucket['calls']:>10} calls  {bucket['functions']:>4} functions"
+        )
+    lines.append(f"  {'total':<12} {data['total_tottime']:8.3f}s")
+    return "\n".join(lines)

@@ -53,11 +53,16 @@ class Network:
         self.header_bytes = header_bytes
         self.combine_arbiter_with_directory = combine_arbiter_with_directory
         self.meter = TrafficMeter()
+        # (id(src), id(dst)) -> (src, dst, latency).  Endpoints are
+        # interned singletons, and the entry keeps strong references (plus
+        # an identity re-check) so id() reuse cannot alias a stale hit.
+        # Topology is fixed at construction, so entries never invalidate.
+        self._latency_memo: dict = {}
 
     # -- topology -----------------------------------------------------------
     def hops(self, src: NodeId, dst: NodeId) -> int:
         """Hop count between two endpoints."""
-        if src == dst:
+        if src is dst or src == dst:
             return 0
         if self.combine_arbiter_with_directory and self._same_tile(src, dst):
             return 0
@@ -66,13 +71,17 @@ class Network:
     @staticmethod
     def _same_tile(a: NodeId, b: NodeId) -> bool:
         """Arbiter i and directory i share a tile (Figure 7b)."""
-        arbiter_kinds = (NodeKind.ARBITER, NodeKind.GLOBAL_ARBITER)
-        pair = {a.kind, b.kind}
-        if pair == {NodeKind.ARBITER, NodeKind.DIRECTORY}:
+        ak = a.kind
+        bk = b.kind
+        if ak is NodeKind.ARBITER:
+            if bk is NodeKind.DIRECTORY:
+                return a.index == b.index
+            return bk is NodeKind.ARBITER or bk is NodeKind.GLOBAL_ARBITER
+        if ak is NodeKind.GLOBAL_ARBITER:
+            return bk is NodeKind.ARBITER or bk is NodeKind.GLOBAL_ARBITER
+        if ak is NodeKind.DIRECTORY and bk is NodeKind.ARBITER:
             return a.index == b.index
-        if NodeKind.GLOBAL_ARBITER in pair and NodeKind.DIRECTORY in pair:
-            return False
-        return a.kind in arbiter_kinds and b.kind in arbiter_kinds
+        return False
 
     def latency(self, src: NodeId, dst: NodeId) -> int:
         return self.hops(src, dst) * self.hop_cycles
@@ -86,26 +95,50 @@ class Network:
         payload_bytes: int = 0,
     ) -> int:
         """Account for one message and return its delivery latency."""
-        self.meter.record(traffic_class, self.header_bytes + payload_bytes)
-        return self.latency(src, dst)
+        meter = self.meter
+        meter.bytes[traffic_class] += self.header_bytes + payload_bytes
+        meter.messages[traffic_class] += 1
+        entry = self._latency_memo.get((id(src), id(dst)))
+        if entry is None or entry[0] is not src or entry[1] is not dst:
+            entry = (src, dst, self.latency(src, dst))
+            self._latency_memo[(id(src), id(dst))] = entry
+        return entry[2]
 
     def control(self, src: NodeId, dst: NodeId, traffic_class: TrafficClass = TrafficClass.OTHER) -> int:
         """A header-only control message."""
         return self.send(src, dst, traffic_class, 0)
 
     # -- convenience node constructors ----------------------------------------
+    # NodeIds are immutable and tiny, but frozen-dataclass construction is
+    # slow and these are built on every message; intern them per index.
     @staticmethod
     def proc(index: int) -> NodeId:
-        return NodeId(NodeKind.PROCESSOR, index)
+        node = _PROC_NODES.get(index)
+        if node is None:
+            node = _PROC_NODES[index] = NodeId(NodeKind.PROCESSOR, index)
+        return node
 
     @staticmethod
     def directory(index: int) -> NodeId:
-        return NodeId(NodeKind.DIRECTORY, index)
+        node = _DIR_NODES.get(index)
+        if node is None:
+            node = _DIR_NODES[index] = NodeId(NodeKind.DIRECTORY, index)
+        return node
 
     @staticmethod
     def arbiter(index: int = 0) -> NodeId:
-        return NodeId(NodeKind.ARBITER, index)
+        node = _ARB_NODES.get(index)
+        if node is None:
+            node = _ARB_NODES[index] = NodeId(NodeKind.ARBITER, index)
+        return node
 
     @staticmethod
     def global_arbiter() -> NodeId:
-        return NodeId(NodeKind.GLOBAL_ARBITER, 0)
+        return _GLOBAL_ARBITER_NODE
+
+
+#: Interned endpoint singletons (pure values, shared across machines).
+_PROC_NODES: dict = {}
+_DIR_NODES: dict = {}
+_ARB_NODES: dict = {}
+_GLOBAL_ARBITER_NODE = NodeId(NodeKind.GLOBAL_ARBITER, 0)

@@ -21,6 +21,11 @@ class TrafficClass(Enum):
     INV = "Inv"  # invalidations and their acknowledgements
     OTHER = "Other"  # commit arbitration control, barriers, misc.
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hashing — and C-level, which matters because every
+    # network message does two dict updates keyed by its class.
+    __hash__ = object.__hash__
+
 
 class TrafficMeter:
     """Byte totals per traffic class plus message counts."""

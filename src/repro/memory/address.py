@@ -32,6 +32,11 @@ class AddressMap:
         self._line_shift = words_per_line.bit_length() - 1
         self._dir_mask = num_directories - 1
 
+    @property
+    def line_shift(self) -> int:
+        """``log2(words_per_line)``: word address -> line address shift."""
+        return self._line_shift
+
     def line_of(self, word_addr: int) -> int:
         """Line address containing ``word_addr``."""
         return word_addr >> self._line_shift

@@ -21,16 +21,21 @@ class MshrFile:
         self.capacity = capacity
         self.name = name
         self._outstanding: Dict[int, float] = {}
+        # Earliest completion among outstanding entries; while ``now`` is
+        # below it no entry can expire, so _expire is O(1) on the hot path.
+        self._next_expiry = float("inf")
         self.primary_misses = 0
         self.secondary_misses = 0
         self.full_stalls = 0
 
     def _expire(self, now: float) -> None:
-        if not self._outstanding:
+        if now < self._next_expiry:
             return
-        done = [addr for addr, t in self._outstanding.items() if t <= now]
+        outstanding = self._outstanding
+        done = [addr for addr, t in outstanding.items() if t <= now]
         for addr in done:
-            del self._outstanding[addr]
+            del outstanding[addr]
+        self._next_expiry = min(outstanding.values(), default=float("inf"))
 
     def outstanding(self, now: float) -> int:
         self._expire(now)
@@ -68,7 +73,10 @@ class MshrFile:
             raise RuntimeError(f"{self.name}: allocate into full MSHR file")
         self.primary_misses += 1
         self._outstanding[line_addr] = completion_time
+        if completion_time < self._next_expiry:
+            self._next_expiry = completion_time
         return completion_time
 
     def clear(self) -> None:
         self._outstanding.clear()
+        self._next_expiry = float("inf")

@@ -186,9 +186,8 @@ class TraceRecorder:
                     # at this instant, so the composition checker can
                     # replay the SC order from interface events alone.
                     "ops": [
-                        [1 if op.is_store else 0, op.word_addr, op.value,
-                         op.program_index]
-                        for op in chunk.ops
+                        [1 if is_store else 0, word_addr, value, program_index]
+                        for is_store, word_addr, value, program_index in chunk.ops
                     ],
                     "w_lines": sorted(chunk.true_written_lines),
                     "r_lines": sorted(chunk.true_read_lines),

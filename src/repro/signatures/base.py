@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, Set
+from typing import FrozenSet, Iterable, List, Set
 
 
 class Signature(ABC):
@@ -31,8 +31,28 @@ class Signature(ABC):
         """Reset to the empty signature."""
 
     def insert_all(self, line_addrs: Iterable[int]) -> None:
+        self.insert_many(line_addrs)
+
+    # -- array operations -----------------------------------------------------
+    # Whole-address-array forms of insert/member.  The base versions are
+    # plain loops; concrete signatures override them with one-pass kernels
+    # (a single mask OR for Bloom, set ops for exact) so batch producers —
+    # the chunk interpreter, bulk invalidation, commit expansion — never
+    # pay per-address dispatch.
+    def insert_many(self, line_addrs: Iterable[int]) -> None:
+        """Accumulate a whole address array."""
         for addr in line_addrs:
             self.insert(addr)
+
+    def member_many(self, line_addrs: Iterable[int]) -> List[bool]:
+        """Vector membership test: one bool per address, same order."""
+        member = self.member
+        return [member(addr) for addr in line_addrs]
+
+    def filter_members(self, line_addrs: Iterable[int]) -> List[int]:
+        """The subsequence of ``line_addrs`` the signature may contain."""
+        member = self.member
+        return [addr for addr in line_addrs if member(addr)]
 
     @abstractmethod
     def union_update(self, other: "Signature") -> None:

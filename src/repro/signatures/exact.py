@@ -8,7 +8,7 @@ lookups) is caused by Bloom aliasing rather than true sharing.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set
+from typing import FrozenSet, Iterable, List, Set
 
 from repro.signatures.base import Signature
 
@@ -32,6 +32,17 @@ class ExactSignature(Signature):
 
     def clear(self) -> None:
         self._members.clear()
+
+    def insert_many(self, line_addrs: Iterable[int]) -> None:
+        self._members.update(line_addrs)
+
+    def member_many(self, line_addrs: Iterable[int]) -> List[bool]:
+        members = self._members
+        return [addr in members for addr in line_addrs]
+
+    def filter_members(self, line_addrs: Iterable[int]) -> List[int]:
+        members = self._members
+        return [addr for addr in line_addrs if addr in members]
 
     def union_update(self, other: Signature) -> None:
         self._members |= self._check_compatible(other)._members

@@ -10,7 +10,7 @@ when code reads better in operator style::
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Iterable, List, Set
 
 from repro.signatures.base import Signature
 
@@ -33,6 +33,16 @@ def is_empty(signature: Signature) -> bool:
 def member(signature: Signature, line_addr: int) -> bool:
     """Membership test (∈); may report false positives."""
     return signature.member(line_addr)
+
+
+def insert_many(signature: Signature, line_addrs: Iterable[int]) -> None:
+    """Array insert: accumulate a whole address array in one pass."""
+    signature.insert_many(line_addrs)
+
+
+def member_many(signature: Signature, line_addrs: Iterable[int]) -> List[bool]:
+    """Vector membership test: one bool per address, same order."""
+    return signature.member_many(line_addrs)
 
 
 def intersects(a: Signature, b: Signature) -> bool:

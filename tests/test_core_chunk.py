@@ -49,7 +49,7 @@ class TestOpLog:
         chunk.note_load(5, 0, 0)
         chunk.note_store(5, 9, 1)
         chunk.note_load(5, 9, 2)
-        kinds = [(op.is_store, op.program_index) for op in chunk.ops]
+        kinds = [(op[0], op[3]) for op in chunk.ops]
         assert kinds == [(False, 0), (True, 1), (False, 2)]
 
 

@@ -96,3 +96,51 @@ def test_clear_empties_queue():
     queue.clear()
     assert not queue
     assert queue.pop() is None
+
+
+def _queued_entries(queue):
+    """Physical entries still held by the queue (live + lazily cancelled)."""
+    return sum(len(bucket) for bucket in queue._buckets.values())
+
+
+def test_mass_cancellation_keeps_queue_bounded():
+    """Lazily-cancelled entries must be compacted away, not accumulate.
+
+    Cancelling 10k events one by one never pops them; without the
+    compaction sweep the buckets would retain every dead entry until
+    their fire times drained.  The sweep bounds physical size to
+    O(live + COMPACT_THRESHOLD).
+    """
+    queue = EventQueue()
+    events = [queue.push(Event(float(i), lambda: None)) for i in range(10_500)]
+    survivors = events[10_000:]
+    for event in events[:10_000]:
+        event.cancel()
+    assert len(queue) == len(survivors)
+    assert queue.compactions >= 1
+    # Dead entries below the sweep threshold may linger; anything beyond
+    # one threshold's worth means compaction is not firing.
+    assert queue.cancelled_live < EventQueue.COMPACT_THRESHOLD
+    assert _queued_entries(queue) <= len(survivors) + EventQueue.COMPACT_THRESHOLD
+    # The survivors still drain in time order with nothing lost.
+    drained = [queue.pop().time for _ in range(len(survivors))]
+    assert drained == sorted(e.time for e in survivors)
+    assert queue.pop() is None
+
+
+def test_compaction_preserves_total_order():
+    """A sweep rebuilds the heaps without disturbing (time, prio, seq)."""
+    queue = EventQueue()
+    keep = []
+    for i in range(3000):
+        event = queue.push(Event(float(i % 7), lambda i=i: None, priority=i % 3))
+        if i % 5 == 0:
+            keep.append(event)
+        else:
+            event.cancel()
+    assert queue.compactions >= 1
+    order = []
+    while queue:
+        order.append(queue.pop())
+    expected = sorted(keep, key=lambda e: (e.time, e.priority, e.seq))
+    assert order == expected

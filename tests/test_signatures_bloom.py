@@ -168,3 +168,46 @@ class TestFolding:
         sig.insert(1 << 60)
         assert sig.member(1 << 60)
         assert not sig.is_empty()
+
+
+class TestArrayOperations:
+    """The one-pass array API the batched engine builds signatures with."""
+
+    ADDRS = [3, 17, 64, 1023, 4096, 3]  # includes a duplicate
+
+    def test_insert_many_equals_per_address_inserts(self):
+        batch, loop = make(), make()
+        batch.insert_many(self.ADDRS)
+        for addr in self.ADDRS:
+            loop.insert(addr)
+        assert batch._bits == loop._bits
+        assert batch.exact_members() == loop.exact_members()
+
+    def test_masks_of_is_the_union_of_single_masks(self):
+        sig = make()
+        expected = 0
+        for addr in self.ADDRS:
+            expected |= sig._hash(addr)[0]
+        assert sig.masks_of(self.ADDRS) == expected
+
+    def test_masks_of_empty_array_is_zero(self):
+        assert make().masks_of([]) == 0
+
+    def test_member_many_matches_member(self):
+        sig = make()
+        sig.insert_many([3, 17, 64])
+        probes = [3, 4, 17, 18, 64, 1 << 40]
+        assert sig.member_many(probes) == [sig.member(a) for a in probes]
+
+    def test_filter_members_matches_member(self):
+        sig = make()
+        sig.insert_many([3, 17, 64])
+        probes = [3, 4, 17, 18, 64]
+        assert sig.filter_members(probes) == [
+            a for a in probes if sig.member(a)
+        ]
+
+    def test_insert_many_accepts_generators(self):
+        sig = make()
+        sig.insert_many(a * 7 for a in range(20))
+        assert all(sig.member(a * 7) for a in range(20))

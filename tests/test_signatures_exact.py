@@ -86,3 +86,14 @@ def test_empty_like():
     sig = ExactSignature()
     sig.insert(9)
     assert sig.empty_like().is_empty()
+
+
+class TestArrayOperations:
+    def test_insert_many_and_member_many(self):
+        from repro.signatures.exact import ExactSignature
+
+        sig = ExactSignature()
+        sig.insert_many([1, 5, 9])
+        assert sig.member_many([1, 2, 5, 9]) == [True, False, True, True]
+        assert sig.filter_members([1, 2, 5, 9]) == [1, 5, 9]
+        assert sig.exact_members() == frozenset({1, 5, 9})
